@@ -1,0 +1,17 @@
+"""Extension bench: relational operators end to end on hybrid memory."""
+
+def test_ext_db_operators(run_experiment):
+    table = run_experiment("ext_db")
+
+    rows = {row[0]: row for row in table.rows}
+    assert set(rows) == {"order_by", "group_by", "join"}
+
+    for name, row in rows.items():
+        # The Equation-4 switch picks the hybrid plan at the sweet spot...
+        assert row[1] == "approx-refine", name
+        # ...and every operator keeps a positive end-to-end write reduction.
+        assert row[2] > 0.02, name
+
+    # JOIN runs two hybrid sorts before its merge: its reduction exceeds
+    # ORDER BY's, whose output materialization dilutes the gain most.
+    assert rows["join"][2] > rows["order_by"][2]

@@ -1,0 +1,36 @@
+"""Extension bench: SLC/MLC/TLC density-performance-reliability triangle."""
+
+def test_ext_density_triangle(run_experiment):
+    table = run_experiment("ext_density")
+
+    fractions = sorted({row[2] for row in table.rows})
+    levels = sorted({row[0] for row in table.rows})
+
+    # Denser cells pay more P&V iterations at every relative precision.
+    for fraction in fractions:
+        iters = [
+            next(row[4] for row in table.rows
+                 if row[0] == n and row[2] == fraction)
+            for n in levels
+        ]
+        assert iters == sorted(iters)
+
+    # ...and err more.
+    for fraction in fractions[2:]:
+        errors = [
+            next(row[5] for row in table.rows
+                 if row[0] == n and row[2] == fraction)
+            for n in levels
+        ]
+        assert errors[0] <= errors[1] <= errors[2]
+
+    # SLC is nearly unbreakable even with almost no guard band.
+    slc_worst = max(row[5] for row in table.rows if row[0] == 2)
+    assert slc_worst < 0.02
+
+    # The paper's anchor still holds inside the sweep: 4-level cells at
+    # band fraction 0.2 are the precise configuration (#P ~ 2.98).
+    anchor = next(
+        row[4] for row in table.rows if row[0] == 4 and row[2] == 0.2
+    )
+    assert 2.8 < anchor < 3.2

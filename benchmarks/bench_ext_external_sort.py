@@ -1,0 +1,17 @@
+"""Extension bench: approx-refine run formation inside external merge sort."""
+
+def test_ext_external_sort(run_experiment):
+    table = run_experiment("ext_external")
+
+    rows = {row[0]: row for row in table.rows}
+
+    # Both plans execute the identical page-I/O schedule at every fan-in.
+    assert all(row[3] for row in table.rows)
+
+    # The hybrid plan keeps a positive end-to-end memory-write reduction...
+    for fan_in, row in rows.items():
+        assert row[2] > 0.01, fan_in
+
+    # ...and the reduction dilutes as merge passes (precise traffic) grow.
+    assert rows[8][1] < rows[2][1]  # fewer passes at higher fan-in
+    assert rows[8][2] > rows[2][2]

@@ -1,0 +1,37 @@
+"""Extension benches: distribution sensitivity and the sequential discount."""
+
+from repro.experiments.common import resolve_scale
+
+
+def test_ext_distributions(run_experiment):
+    table = run_experiment("ext_distributions")
+
+    by = {(row[0], row[1]): row[2] for row in table.rows}
+    distributions = sorted({row[0] for row in table.rows})
+
+    # The paper's ranking is distribution-insensitive: the robust
+    # algorithms stay nearly sorted everywhere...
+    for distribution in distributions:
+        for algorithm in ("quicksort", "lsd6", "msd6"):
+            assert by[(distribution, algorithm)] < 0.1, (distribution, algorithm)
+
+    # ...and mergesort's fragility shows on every non-trivial distribution
+    # (at smoke scale spikes are too rare for the comparison to resolve).
+    if resolve_scale(None) != "smoke":
+        fragile = [
+            by[(d, "mergesort")] >= by[(d, "quicksort")]
+            for d in distributions
+        ]
+        assert sum(fragile) >= len(distributions) - 1
+
+
+def test_ext_sequential_discount(run_experiment):
+    table = run_experiment("ext_sequential")
+
+    speedups = {row[0]: row[3] for row in table.rows}
+    # Section-5 conjecture: the refine stage (sequential output writes)
+    # benefits more from a sequential-write discount than the random-write
+    # approx stage, so a finer PCM model helps approx-refine.
+    assert speedups["refine"] > speedups["approx_sort"]
+    assert speedups["refine"] > 1.3
+    assert speedups["approx_sort"] < 1.5

@@ -1,0 +1,18 @@
+"""Extension bench: total memory access time (the abstract's metric)."""
+
+def test_ext_total_access_time(run_experiment):
+    table = run_experiment("ext_total_time")
+
+    by = {(row[0], row[1]): row for row in table.rows}
+    ts = sorted({row[0] for row in table.rows})
+
+    for row in table.rows:
+        # Including reads can only shave the reduction (refine trades
+        # writes for reads)...
+        assert row[3] <= row[2] + 1e-9
+        # ...by a bounded amount: reads are 20x cheaper than writes.
+        assert row[2] - row[3] < 0.06
+
+    # The abstract's claim survives the stricter metric: 3-bit LSD keeps a
+    # solidly positive access-time reduction at the sweet spot.
+    assert by[(0.055, "lsd3")][3] > 0.05

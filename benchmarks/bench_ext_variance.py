@@ -1,0 +1,16 @@
+"""Extension bench: seed variance of the write-reduction measurements."""
+
+def test_ext_seed_variance(run_experiment):
+    table = run_experiment("ext_variance")
+
+    by = {row[0]: row for row in table.rows}
+
+    # The radix family's reductions are tight across corruption seeds...
+    assert by["lsd3"][2] < 0.02
+    assert by["lsd6"][2] < 0.02
+    # ...and solidly positive over the whole observed range.
+    assert by["lsd3"][3] > 0.05
+
+    # Mergesort's Rem~ heavy tail makes it the most seed-sensitive.
+    spreads = {name: row[4] - row[3] for name, row in by.items()}
+    assert spreads["mergesort"] == max(spreads.values())

@@ -1,0 +1,22 @@
+"""Extension bench: software write-combining ablation (paper Section 3.1)."""
+
+def test_ext_write_combining(run_experiment):
+    table = run_experiment("ext_write_combining")
+
+    by = {(row[0], row[1]): row[2] for row in table.rows}
+    capacities = sorted({row[1] for row in table.rows})
+
+    # Streaming sorters emit already-combined block writes: zero effect.
+    for algorithm in ("mergesort", "lsd6", "hmsd6"):
+        for capacity in capacities:
+            assert by[(algorithm, capacity)] == 0.0
+
+    # Quicksort's tail recursion fits in the buffer: substantial combining
+    # that grows with capacity.
+    quick = [by[("quicksort", c)] for c in capacities]
+    assert quick == sorted(quick)
+    assert quick[-1] > 0.3
+
+    # Insertion sort combines only within the buffer's shift reach.
+    insertion = [by[("insertion", c)] for c in capacities]
+    assert insertion == sorted(insertion)

@@ -1,0 +1,23 @@
+"""Figure 2: Monte-Carlo cell characterization (avg #P and error rate vs T)."""
+
+import pytest
+
+
+def test_fig02_cell_characterization(run_experiment):
+    table = run_experiment("fig02")
+
+    iters = table.column("avg_#P")
+    errors = table.column("word_error_rate")
+    ts = table.column("T")
+
+    # Paper anchor: avg #P = 2.98 at T = 0.025.
+    assert iters[0] == pytest.approx(2.98, abs=0.15)
+    # Monotone acceleration as the guard band shrinks.
+    assert all(a >= b for a, b in zip(iters, iters[1:]))
+    # ~50% iteration reduction at T = 0.1.
+    at = dict(zip(ts, iters))
+    assert at[0.1] / at[0.025] == pytest.approx(0.5, abs=0.04)
+    # Fig 2b: word error rate reaches ~60-70% with no guard band.
+    assert 0.5 < errors[-1] < 0.8
+    # Errors stay negligible below T ~ 0.05.
+    assert all(e < 0.01 for t, e in zip(ts, errors) if t <= 0.05)

@@ -1,0 +1,30 @@
+"""Figure 4: sortedness and write reduction of sorting in approximate memory."""
+
+def test_fig04_sortedness_tradeoff(run_experiment):
+    table = run_experiment("fig04")
+
+    def series(algorithm, column):
+        index = table.columns.index(column)
+        return {
+            row[0]: row[index]
+            for row in table.rows
+            if row[1] == algorithm
+        }
+
+    # Fig 4c: write reduction approaches ~50% at T = 0.1 and grows with T.
+    for algorithm in ("quicksort", "lsd6", "msd6", "mergesort"):
+        reduction = series(algorithm, "write_reduction")
+        assert reduction[0.1] > 0.35
+        assert reduction[0.1] > reduction[0.055] > reduction[0.03]
+
+    # Fig 4b: Rem explodes beyond T ~ 0.06 for every algorithm.
+    for algorithm in ("quicksort", "lsd6", "msd6", "mergesort"):
+        rem = series(algorithm, "rem_ratio")
+        assert rem[0.1] > 0.2
+        assert rem[0.1] > rem[0.05]
+
+    # Mergesort is by far the most fragile at the sweet spot.
+    rem_at_sweet = {
+        row[1]: row[3] for row in table.rows if row[0] == 0.055
+    }
+    assert rem_at_sweet["mergesort"] > 3 * rem_at_sweet["quicksort"]

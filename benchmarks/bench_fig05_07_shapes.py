@@ -1,0 +1,36 @@
+"""Figures 5-7: visual shape of the output sequence at three precisions."""
+
+from repro.experiments.common import resolve_scale
+
+
+def test_fig05_07_output_shapes(run_experiment):
+    table = run_experiment("fig05_07")
+
+    rows = {(row[0], row[2]): row for row in table.rows}
+
+    # Fig 5 (T = 0.03): a clean ascending line for every algorithm.
+    for algorithm in ("quicksort", "lsd6", "msd6", "mergesort"):
+        figure, t, _, rem, in_order, corr = rows[("fig05", algorithm)]
+        assert corr > 0.999
+        assert rem < 0.01
+
+    # Fig 6 (T = 0.055): still line-like for quicksort/radix ("noise"),
+    # visibly degraded for mergesort.
+    for algorithm in ("quicksort", "lsd6", "msd6"):
+        _, _, _, rem, in_order, corr = rows[("fig06", algorithm)]
+        assert corr > 0.99
+        assert rem < 0.1
+    if resolve_scale(None) != "smoke":
+        # Mergesort's visible Fig-6 degradation needs default-scale inputs.
+        assert (
+            rows[("fig06", "mergesort")][3] > rows[("fig06", "quicksort")][3]
+        )
+
+    # Fig 7 (T = 0.1): chaos — rank correlation clearly below the clean case.
+    for algorithm in ("quicksort", "lsd6", "msd6", "mergesort"):
+        _, _, _, rem, in_order, corr = rows[("fig07", algorithm)]
+        assert rem > 0.2
+        assert in_order < 0.95
+
+    # The saved series allow replotting the figures.
+    assert len(table.extra["series"]) == 12

@@ -1,0 +1,23 @@
+"""Figure 10: write reduction of approx-refine across input sizes."""
+
+def test_fig10_write_reduction_vs_n(run_experiment):
+    table = run_experiment("fig10")
+
+    def series(algorithm):
+        return {row[0]: row[2] for row in table.rows if row[1] == algorithm}
+
+    sizes = sorted({row[0] for row in table.rows})
+
+    # Quicksort's reduction grows with n (alpha superlinear, overheads
+    # amortize) — the paper's scalability claim.
+    quick = series("quicksort")
+    assert quick[sizes[-1]] > quick[sizes[0]]
+
+    # 3-bit LSD stays the strongest performer at every size (paper: 11% max).
+    lsd3 = series("lsd3")
+    assert all(lsd3[n] > series("lsd6")[n] for n in sizes)
+    assert max(lsd3.values()) > 0.05
+
+    # Mergesort trends downward as its Rem~ amplification kicks in.
+    merge = series("mergesort")
+    assert merge[sizes[-1]] < merge[sizes[0]] + 0.05

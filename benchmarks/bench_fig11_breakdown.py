@@ -1,0 +1,38 @@
+"""Figure 11: approx/refine breakdown of write latency at T = 0.055."""
+
+import pytest
+
+from repro.experiments.common import resolve_scale
+
+
+def test_fig11_latency_breakdown(run_experiment):
+    table = run_experiment("fig11")
+
+    rows = {row[0]: row for row in table.rows}
+
+    # Normalization reference: 3-bit LSD approx == 1.0.
+    assert rows["lsd3"][1] == pytest.approx(1.0)
+
+    # Totals decompose into approx + refine.
+    for row in table.rows:
+        assert row[3] == pytest.approx(row[1] + row[2])
+
+    # More bins -> smaller totals for both LSD and MSD.
+    assert rows["lsd6"][3] < rows["lsd5"][3] < rows["lsd4"][3] < rows["lsd3"][3]
+    assert rows["msd6"][3] < rows["msd3"][3]
+
+    # 6-bit MSD is among the cheapest (paper: 6-bit MSD & quicksort least).
+    totals = {name: row[3] for name, row in rows.items()}
+    assert totals["msd6"] == min(totals.values())
+
+    # Refine overhead is negligible except for mergesort, which pays the
+    # largest absolute refine cost of all algorithms (its Rem~ dominates;
+    # at the paper's 16M scale the share becomes overwhelming too).
+    for name, row in rows.items():
+        if name != "mergesort":
+            assert row[4] < 0.25, name
+    if resolve_scale(None) != "smoke":
+        # Needs default-scale Rem~; at smoke, mergesort's spikes are too
+        # rare for its refine bar to dominate.
+        assert rows["mergesort"][2] == max(row[2] for row in table.rows)
+        assert rows["mergesort"][4] > rows["lsd3"][4]

@@ -1,0 +1,20 @@
+"""Figure 12: Rem ratio on the approximate spintronic model (Appendix A)."""
+
+def test_fig12_spintronic_rem(run_experiment):
+    table = run_experiment("fig12")
+
+    def series(algorithm):
+        return [row[3] for row in table.rows if row[2] == algorithm]
+
+    # Rem grows with the per-write energy saving (i.e. with the BER).
+    for algorithm in ("lsd6", "msd6", "quicksort", "mergesort"):
+        rems = series(algorithm)
+        assert rems[0] <= rems[-1] + 1e-9
+        # 5% saving (BER 1e-7): nearly sorted.
+        assert rems[0] < 0.01
+
+    # Mergesort degrades the fastest (its Rem~ amplification).
+    at_max_saving = {
+        row[2]: row[3] for row in table.rows if row[0] == 0.50
+    }
+    assert at_max_saving["mergesort"] == max(at_max_saving.values())

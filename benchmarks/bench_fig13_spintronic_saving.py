@@ -1,0 +1,23 @@
+"""Figure 13: total write-energy saving of approx-refine on spintronic."""
+
+def test_fig13_spintronic_energy_saving(run_experiment):
+    table = run_experiment("fig13")
+
+    def series(algorithm):
+        return {row[0]: row[2] for row in table.rows if row[1] == algorithm}
+
+    # 5% saving per write cannot pay for the copy + refine overheads.
+    for algorithm in ("lsd3", "lsd6", "msd6", "quicksort"):
+        assert series(algorithm)[0.05] < 0.03
+
+    # Radix gains at the 20%/33% configurations (paper: up to 13.4%).
+    lsd3 = series("lsd3")
+    assert lsd3[0.33] > 0.05
+    assert lsd3[0.33] > lsd3[0.05]
+
+    # More headroom -> more saving for the robust algorithms at this scale.
+    assert series("lsd3")[0.33] > series("lsd6")[0.33]
+
+    # Quicksort trails radix but beats its own 5% configuration.
+    quick = series("quicksort")
+    assert quick[0.33] > quick[0.05]

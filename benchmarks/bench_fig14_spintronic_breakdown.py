@@ -1,0 +1,23 @@
+"""Figure 14: approx/refine breakdown of write energy (33% saving/write)."""
+
+import pytest
+
+
+def test_fig14_energy_breakdown(run_experiment):
+    table = run_experiment("fig14")
+
+    rows = {row[0]: row for row in table.rows}
+
+    assert rows["lsd3"][1] == pytest.approx(1.0)
+    for row in table.rows:
+        assert row[3] == pytest.approx(row[1] + row[2])
+
+    # Refine energy is mostly negligible except for mergesort.
+    for name, row in rows.items():
+        if name not in ("mergesort",):
+            assert row[4] < 0.25, name
+    assert rows["mergesort"][4] >= rows["lsd3"][4]
+
+    # More bins -> less total energy, as with latency.
+    assert rows["lsd6"][3] < rows["lsd3"][3]
+    assert rows["msd6"][3] < rows["msd3"][3]

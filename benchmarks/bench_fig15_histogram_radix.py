@@ -1,0 +1,22 @@
+"""Figure 15: write reduction with the histogram-based radix sorts."""
+
+def test_fig15_histogram_radix(run_experiment):
+    table = run_experiment("fig15")
+
+    def series(algorithm):
+        return {row[0]: row[2] for row in table.rows if row[1] == algorithm}
+
+    hlsd3 = series("hlsd3")
+    peak_t = max(hlsd3, key=hlsd3.get)
+
+    # Optimum still at T ~ 0.055-0.06 (paper Appendix B).
+    assert 0.045 <= peak_t <= 0.065
+
+    # ~10% for 3-bit, ~5% for 6-bit: smaller gains than the queue scheme,
+    # and decreasing with bins.
+    assert 0.04 < hlsd3[peak_t] < 0.16
+    assert series("hlsd6")[peak_t] < hlsd3[peak_t]
+
+    # Negative at the precise end for every variant.
+    for algorithm in ("hlsd3", "hlsd6", "hmsd3", "hmsd6"):
+        assert series(algorithm)[0.025] < 0

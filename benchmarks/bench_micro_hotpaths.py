@@ -1,0 +1,92 @@
+"""Microbenchmarks of the simulation hot paths.
+
+Unlike the experiment benches (one pedantic round around a whole study),
+these are true pytest-benchmark timings guarding the per-access costs the
+whole reproduction's feasibility rests on: the compiled error model's
+scalar write path, the vectorized block path, and the core sortedness
+metric.  Regressions here multiply directly into experiment wall-clock.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.memory.config import MLCParams
+from repro.memory.error_model import get_model
+from repro.memory.approx_array import PreciseArray
+from repro.memory.stats import MemoryStats
+from repro.metrics.sortedness import rem
+from repro.sorting.registry import make_sorter
+from repro.workloads.generators import uniform_keys
+
+FIT = 20_000
+
+
+@pytest.fixture(scope="module")
+def model():
+    return get_model(MLCParams(t=0.055), samples_per_level=FIT)
+
+
+def test_corrupt_word_scalar_path(benchmark, model):
+    rng = random.Random(0)
+    values = [rng.getrandbits(32) for _ in range(512)]
+
+    def run():
+        for value in values:
+            model.corrupt_word(value, rng)
+
+    benchmark(run)
+
+
+def test_word_write_cost_lookup(benchmark, model):
+    values = [i * 2654435761 % 2**32 for i in range(512)]
+
+    def run():
+        total = 0.0
+        for value in values:
+            total += model.word_write_cost(value)
+        return total
+
+    benchmark(run)
+
+
+def test_corrupt_block_vectorized(benchmark, model):
+    np_rng = np.random.default_rng(1)
+    values = np_rng.integers(0, 2**32, size=8_192, dtype=np.uint64).astype(
+        np.uint32
+    )
+
+    benchmark(lambda: model.corrupt_block(values, np_rng))
+
+
+def test_rem_metric(benchmark):
+    keys = uniform_keys(8_192, seed=2)
+    benchmark(lambda: rem(keys))
+
+
+def test_quicksort_on_instrumented_array(benchmark):
+    keys = uniform_keys(4_096, seed=3)
+
+    def run():
+        stats = MemoryStats()
+        array = PreciseArray(keys, stats=stats)
+        make_sorter("quicksort").sort(array)
+        return stats.precise_writes
+
+    benchmark(run)
+
+
+def test_lsd_block_path_on_approx_memory(benchmark, model):
+    from repro.memory.approx_array import ApproxArray
+
+    keys = uniform_keys(4_096, seed=4)
+
+    def run():
+        array = ApproxArray(
+            [0] * len(keys), model=model, precise_iterations=3.0, seed=5
+        )
+        array.write_block(0, keys)
+        make_sorter("lsd6").sort(array)
+
+    benchmark(run)

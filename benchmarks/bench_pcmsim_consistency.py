@@ -1,0 +1,17 @@
+"""Queue-level simulator vs analytic accounting (Section 4.3 validation)."""
+
+import pytest
+
+
+def test_pcmsim_consistency(run_experiment):
+    table = run_experiment("pcmsim")
+
+    for row in table.rows:
+        algorithm, t, p, sim_ratio, analytic_ratio, max_queue = row
+        # The detailed simulator's total-time ratio tracks the analytic
+        # TEPMW ratio within a few percent on these write-dominated traces.
+        assert sim_ratio == pytest.approx(analytic_ratio, abs=0.08)
+        # The Table-1 queue bound holds throughout.
+        assert max_queue <= 32
+        # Approximate memory is never slower than precise in the simulator.
+        assert sim_ratio <= 1.0 + 1e-9

@@ -1,0 +1,23 @@
+"""Table 3: Rem ratio after sorting in approximate memory (3 anchor Ts)."""
+
+def test_table3_rem_ratios(run_experiment):
+    table = run_experiment("table3")
+
+    by_config = {(row[0], row[1]): row[2] for row in table.rows}
+
+    # T = 0.03: nearly clean output for every algorithm (paper: <= 0.0025%).
+    for algorithm in ("quicksort", "lsd6", "msd6", "mergesort"):
+        assert by_config[(0.03, algorithm)] < 0.01
+
+    # T = 0.055: nearly sorted for all but mergesort (paper: 55.8%).
+    assert by_config[(0.055, "quicksort")] < 0.05
+    assert by_config[(0.055, "lsd6")] < 0.05
+    assert by_config[(0.055, "msd6")] < 0.05
+    assert by_config[(0.055, "mergesort")] > 2 * by_config[(0.055, "quicksort")]
+
+    # T = 0.1: chaos; mergesort worst (paper: 99.95%).
+    for algorithm in ("quicksort", "lsd6", "msd6"):
+        assert by_config[(0.1, algorithm)] > 0.2
+    assert by_config[(0.1, "mergesort")] == max(
+        v for (t, _), v in by_config.items() if t == 0.1
+    )

@@ -1,0 +1,34 @@
+"""Benchmark harness: one bench per paper table/figure.
+
+Each bench runs its experiment once (``benchmark.pedantic`` with a single
+round — the experiments are minutes-long simulations, not microbenchmarks),
+prints the reproduced table next to the paper's reference claims, and saves
+the JSON record to ``benchmarks/results/`` for EXPERIMENTS.md.
+
+Scale: the ``REPRO_SCALE`` environment variable (smoke/default/large)
+selects input sizes; see ``repro.experiments.common``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentTable
+from repro.experiments.runner import EXPERIMENTS
+
+
+@pytest.fixture
+def run_experiment(benchmark, capsys):
+    """Run a named experiment under the benchmark clock and report it."""
+
+    def runner(name: str, seed: int = 0) -> ExperimentTable:
+        table = benchmark.pedantic(
+            lambda: EXPERIMENTS[name](seed=seed), rounds=1, iterations=1
+        )
+        with capsys.disabled():
+            print()
+            print(table.to_text())
+        table.save()
+        return table
+
+    return runner

@@ -1,0 +1,104 @@
+"""ORDER BY on a relation, the paper's motivating database scenario.
+
+Builds a small ORDERS relation, then evaluates
+
+    SELECT * FROM orders ORDER BY amount_cents
+
+by sorting <key, record-ID> pairs with approx-refine and materializing the
+result rows through the ID permutation — the exact pattern of Section 4.1
+(keys sort on approximate memory, record IDs stay precise, output is exact).
+
+Also demonstrates the Equation-4 switch: the engine predicts whether
+approx-refine beats a precise-only sort for the given operator and picks the
+cheaper plan, as the paper proposes at the end of Section 4.3.
+
+    python examples/database_order_by.py [n_rows]
+"""
+
+import random
+import sys
+from dataclasses import dataclass
+
+from repro import (
+    MLCParams,
+    PCMMemoryFactory,
+    make_sorter,
+    predicted_write_reduction,
+    run_approx_refine,
+    run_precise_baseline,
+)
+
+
+@dataclass(frozen=True)
+class Order:
+    order_id: int
+    customer: str
+    amount_cents: int
+
+
+def build_relation(n: int, seed: int = 0) -> list[Order]:
+    rng = random.Random(seed)
+    customers = ["acme", "globex", "initech", "umbrella", "stark", "wayne"]
+    return [
+        Order(
+            order_id=1_000_000 + i,
+            customer=rng.choice(customers),
+            amount_cents=rng.randrange(1, 2**31),
+        )
+        for i in range(n)
+    ]
+
+
+def order_by_amount(
+    relation: list[Order], memory: PCMMemoryFactory, algorithm: str = "lsd3"
+) -> list[Order]:
+    """ORDER BY amount_cents via approx-refine; returns materialized rows."""
+    keys = [row.amount_cents for row in relation]
+
+    # The Equation-4 switch: estimate Rem~ from the memory's word error rate
+    # and the algorithm's write count (each write is a corruption chance),
+    # then use approx-refine only when it is predicted to win.
+    sorter = make_sorter(algorithm)
+    n = len(keys)
+    writes_per_element = sorter.expected_key_writes(n) / max(n, 1) + 1
+    rem_estimate = n * min(
+        1.0, memory.model.word_error_rate * writes_per_element
+    )
+    predicted = predicted_write_reduction(
+        sorter, n, memory.p_ratio, rem_estimate
+    )
+    print(
+        f"plan: {algorithm} on {memory.description};"
+        f" predicted write reduction {predicted:+.1%}"
+    )
+
+    if predicted <= 0:
+        print("plan: predicted loss -> precise-only sort")
+        baseline = run_precise_baseline(keys, sorter)
+        permutation = baseline.final_ids
+    else:
+        print("plan: predicted gain -> approx-refine")
+        result = run_approx_refine(keys, sorter, memory, seed=1)
+        permutation = result.final_ids
+    return [relation[i] for i in permutation]
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
+    relation = build_relation(n, seed=3)
+
+    print("-- sweet-spot memory (T = 0.055): expect the hybrid plan")
+    rows = order_by_amount(relation, PCMMemoryFactory(MLCParams(t=0.055)))
+    amounts = [row.amount_cents for row in rows]
+    assert amounts == sorted(amounts), "ORDER BY must be exact"
+    print(f"first rows: {[r.order_id for r in rows[:5]]}")
+
+    print("\n-- nearly precise memory (T = 0.03): expect the precise plan")
+    rows = order_by_amount(relation, PCMMemoryFactory(MLCParams(t=0.03)))
+    amounts = [row.amount_cents for row in rows]
+    assert amounts == sorted(amounts), "ORDER BY must be exact"
+    print(f"first rows: {[r.order_id for r in rows[:5]]}")
+
+
+if __name__ == "__main__":
+    main()

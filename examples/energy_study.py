@@ -1,0 +1,52 @@
+"""Appendix-A walkthrough: write-energy savings on spintronic memory.
+
+Sweeps the four energy/error configuration points of the approximate
+spintronic model (Ranjan et al.) and shows, per sorting algorithm, the total
+write-energy saving of approx-refine against a precise-only sort — the
+generality claim of the paper's Appendix A: the mechanism is not tied to one
+approximate-memory technology.
+
+    python examples/energy_study.py [n]
+"""
+
+import sys
+
+from repro import (
+    SPINTRONIC_CONFIGS,
+    SpintronicMemoryFactory,
+    run_approx_refine,
+    run_precise_baseline,
+)
+from repro.workloads import uniform_keys
+
+ALGORITHMS = ("lsd3", "lsd6", "msd6", "quicksort", "mergesort")
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 8_000
+    keys = uniform_keys(n, seed=11)
+    baselines = {name: run_precise_baseline(keys, name) for name in ALGORITHMS}
+
+    header = f"{'saving/write':>12s} {'BER':>8s}" + "".join(
+        f" {name:>10s}" for name in ALGORITHMS
+    )
+    print(f"Total write-energy saving of approx-refine, n={n}")
+    print(header)
+    for params in SPINTRONIC_CONFIGS:
+        memory = SpintronicMemoryFactory(params)
+        cells = []
+        for name in ALGORITHMS:
+            result = run_approx_refine(keys, name, memory, seed=5)
+            assert result.final_keys == sorted(keys)
+            cells.append(result.write_reduction_vs(baselines[name]))
+        row = f"{params.energy_saving:>11.0%} {params.bit_error_rate:>8.0e}"
+        row += "".join(f" {value:>+10.1%}" for value in cells)
+        print(row)
+    print(
+        "\npaper: radix saves up to ~13.4% and quicksort ~7.5% at the"
+        " 20%/33% configurations; mergesort never gains."
+    )
+
+
+if __name__ == "__main__":
+    main()

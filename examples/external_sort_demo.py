@@ -1,0 +1,60 @@
+"""External merge sort with approx-refine run formation.
+
+Sorts a dataset eight times larger than the configured memory through the
+two-phase external merge sort on a simulated block device, with the
+in-memory run-formation sorts off-loaded to approximate MLC PCM — the
+setting the paper's Section 4.1 points at for disk-resident data.
+
+    python examples/external_sort_demo.py [n]
+"""
+
+import sys
+
+from repro import MLCParams, PCMMemoryFactory
+from repro.external import BlockDevice, external_merge_sort
+from repro.workloads import uniform_keys
+
+
+def run_plan(keys, memory, label):
+    device = BlockDevice(records_per_page=256)
+    source = device.write_records("input", list(zip(keys, range(len(keys)))))
+    result = external_merge_sort(
+        source,
+        device,
+        memory_capacity=len(keys) // 8,
+        fan_in=4,
+        sorter="lsd3",
+        memory=memory,
+    )
+    output = [k for k, _ in result.output.peek_all()]
+    assert output == sorted(keys), "external sort must be exact"
+    print(
+        f"{label:8s} runs={result.runs_formed} merge_passes="
+        f"{result.merge_passes} pages R/W={result.io_stats.page_reads}/"
+        f"{result.io_stats.page_writes} memory-writes="
+        f"{result.memory_stats.equivalent_precise_writes:,.0f} units"
+    )
+    return result
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 16_000
+    keys = uniform_keys(n, seed=13)
+    memory = PCMMemoryFactory(MLCParams(t=0.055))
+    print(f"sorting {n} records, memory capacity {n // 8} records\n")
+
+    precise = run_plan(keys, None, "precise")
+    hybrid = run_plan(keys, memory, "hybrid")
+
+    saved = 1 - (
+        hybrid.memory_stats.equivalent_precise_writes
+        / precise.memory_stats.equivalent_precise_writes
+    )
+    print(
+        f"\nidentical disk I/O, {saved:+.1%} fewer memory-write units"
+        f" with approx-refine run formation"
+    )
+
+
+if __name__ == "__main__":
+    main()

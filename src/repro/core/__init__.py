@@ -1,0 +1,43 @@
+"""The paper's contribution: the approx-refine execution mechanism."""
+
+from .approx_refine import (
+    ApproxOnlyResult,
+    run_approx_only,
+    run_approx_refine,
+    run_precise_baseline,
+)
+from .cost_model import (
+    CostBreakdown,
+    baseline_cost,
+    hybrid_cost,
+    predicted_write_reduction,
+    should_use_approx_refine,
+)
+from .refine import find_rem_ids, merge_refined, sort_rem_ids
+from .report import (
+    ApproxRefineResult,
+    BaselineResult,
+    REFINE_STAGES,
+    STAGES,
+    format_stage_table,
+)
+
+__all__ = [
+    "ApproxOnlyResult",
+    "ApproxRefineResult",
+    "BaselineResult",
+    "CostBreakdown",
+    "REFINE_STAGES",
+    "STAGES",
+    "baseline_cost",
+    "find_rem_ids",
+    "format_stage_table",
+    "hybrid_cost",
+    "merge_refined",
+    "predicted_write_reduction",
+    "run_approx_only",
+    "run_approx_refine",
+    "run_precise_baseline",
+    "should_use_approx_refine",
+    "sort_rem_ids",
+]

@@ -1,0 +1,108 @@
+"""Analytic cost model of approx-refine (paper Section 4.3, Equation 4).
+
+With ``alpha_alg(n)`` the number of key writes algorithm *alg* performs on
+``n`` elements, ``p = p(t)`` the approximate/precise write-cost ratio, and
+``Rem~`` the refine heuristic's REM size, the hybrid execution performs
+(in precise-write equivalents, TEPMW)::
+
+    approx preparation   p * n
+    approx stage         (p + 1) * alpha(n)        (keys approx, IDs precise)
+    refine step 1        Rem~
+    refine step 2        alpha(Rem~)
+    refine step 3        2n + Rem~
+
+against a traditional baseline of ``2 * alpha(n)``, giving
+
+    WR(n, t) = (1 - p)/2
+               - (Rem~ + (1 + 0.5 p) n) / alpha(n)
+               - alpha(Rem~) / (2 alpha(n))
+
+The model is used two ways: to *predict* whether approx-refine will beat the
+precise-only sort (the paper's switch criterion), and as a cross-check that
+the instrumented measurements behave (tested in
+``tests/core/test_cost_model.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sorting.base import BaseSorter
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """TEPMW of each mechanism stage, per the Section-4.3 enumeration."""
+
+    approx_preparation: float
+    approx_stage: float
+    refine_find_rem: float
+    refine_sort_rem: float
+    refine_merge: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.approx_preparation
+            + self.approx_stage
+            + self.refine_find_rem
+            + self.refine_sort_rem
+            + self.refine_merge
+        )
+
+    @property
+    def approx(self) -> float:
+        """Approx portion of the Figure-11 breakdown."""
+        return self.approx_preparation + self.approx_stage
+
+    @property
+    def refine(self) -> float:
+        """Refine portion of the Figure-11 breakdown."""
+        return self.refine_find_rem + self.refine_sort_rem + self.refine_merge
+
+
+def hybrid_cost(
+    sorter: BaseSorter, n: int, p: float, rem_tilde: float
+) -> CostBreakdown:
+    """Predicted TEPMW of the hybrid execution."""
+    if n < 0 or rem_tilde < 0:
+        raise ValueError("sizes must be non-negative")
+    if not 0.0 < p <= 1.0 + 1e-9:
+        raise ValueError(f"p(t) must be in (0, 1], got {p}")
+    alpha_n = sorter.expected_key_writes(n)
+    alpha_rem = sorter.expected_key_writes(int(rem_tilde))
+    return CostBreakdown(
+        approx_preparation=p * n,
+        approx_stage=(p + 1.0) * alpha_n,
+        refine_find_rem=float(rem_tilde),
+        refine_sort_rem=alpha_rem,
+        refine_merge=2.0 * n + rem_tilde,
+    )
+
+
+def baseline_cost(sorter: BaseSorter, n: int) -> float:
+    """Predicted TEPMW of the traditional precise-only sort: 2*alpha(n)."""
+    return 2.0 * sorter.expected_key_writes(n)
+
+
+def predicted_write_reduction(
+    sorter: BaseSorter, n: int, p: float, rem_tilde: float
+) -> float:
+    """Equation 4: predicted write reduction of approx-refine.
+
+    Positive means the hybrid execution is predicted to win; the paper's
+    switch criterion runs approx-refine only when this is positive.
+    """
+    alpha_n = sorter.expected_key_writes(n)
+    if alpha_n <= 0:
+        return 0.0
+    return 1.0 - hybrid_cost(sorter, n, p, rem_tilde).total / baseline_cost(
+        sorter, n
+    )
+
+
+def should_use_approx_refine(
+    sorter: BaseSorter, n: int, p: float, rem_tilde_estimate: float
+) -> bool:
+    """The paper's adaptive switch: hybrid iff the predicted WR is positive."""
+    return predicted_write_reduction(sorter, n, p, rem_tilde_estimate) > 0.0

@@ -1,0 +1,259 @@
+"""Sort-driven relational operators over hybrid memory.
+
+Each operator follows the paper's execution model: extract the 32-bit key
+column, sort ``<Key, ID>`` pairs — on approximate memory via approx-refine
+when the Equation-4 switch predicts a win, on precise memory otherwise —
+and materialize output rows through the resulting ID permutation.
+
+Accounting: key/ID traffic is measured by the underlying mechanism; output
+materialization of payload cells is charged one precise write per cell
+(the unavoidable 2n-style output cost, generalized to wider rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional
+
+from repro.core.approx_refine import run_approx_refine, run_precise_baseline
+from repro.core.cost_model import predicted_write_reduction
+from repro.memory.approx_array import WORD_LIMIT
+from repro.memory.factories import ApproxMemoryFactory
+from repro.memory.stats import MemoryStats
+from repro.sorting.base import BaseSorter
+from repro.sorting.registry import make_sorter
+
+from .table import Relation
+
+#: Supported aggregate functions for GROUP BY.
+AGGREGATES: dict[str, Callable[[list], object]] = {
+    "sum": sum,
+    "count": len,
+    "min": min,
+    "max": max,
+    "avg": lambda values: sum(values) / len(values),
+}
+
+
+@dataclass
+class OperatorResult:
+    """Output relation plus the execution record of one operator."""
+
+    relation: Relation
+    stats: MemoryStats
+    plan: str  # "approx-refine" or "precise"
+    predicted_write_reduction: float
+    sort_stats: Optional[MemoryStats] = None
+
+
+def _estimate_rem(memory, sorter: BaseSorter, n: int) -> float:
+    """Rem~ estimate for the Equation-4 switch.
+
+    Every key write is a corruption opportunity; a corrupted element lands
+    in REMID~ (often evicting a neighbour too, hence the factor 2).
+    """
+    if n == 0:
+        return 0.0
+    word_error = getattr(memory, "model").word_error_rate
+    writes_per_element = sorter.expected_key_writes(n) / n + 1
+    return n * min(1.0, 2.0 * word_error * writes_per_element)
+
+
+def _sorted_permutation(
+    keys: list[int],
+    memory: Optional[ApproxMemoryFactory],
+    sorter: BaseSorter,
+    seed: int,
+) -> tuple[list[int], MemoryStats, str, float]:
+    """Sort keys, returning (permutation, stats, plan, predicted_wr)."""
+    n = len(keys)
+    predicted = -1.0
+    if memory is not None:
+        p_ratio = getattr(memory, "p_ratio", None)
+        cost_ratio = (
+            p_ratio
+            if p_ratio is not None
+            else getattr(memory, "model").write_cost
+        )
+        predicted = predicted_write_reduction(
+            sorter, n, cost_ratio, _estimate_rem(memory, sorter, n)
+        )
+    if memory is not None and predicted > 0:
+        result = run_approx_refine(keys, sorter, memory, seed=seed)
+        return result.final_ids, result.stats, "approx-refine", predicted
+    baseline = run_precise_baseline(keys, sorter)
+    return baseline.final_ids, baseline.stats, "precise", predicted
+
+
+def _charge_materialization(
+    stats: MemoryStats, rows: int, columns: int
+) -> None:
+    """Charge output-row materialization: one precise write per cell."""
+    stats.record_precise_write(rows * columns)
+
+
+def order_by(
+    relation: Relation,
+    key_column: str,
+    memory: Optional[ApproxMemoryFactory] = None,
+    algorithm: "BaseSorter | str" = "lsd3",
+    descending: bool = False,
+    seed: int = 0,
+) -> OperatorResult:
+    """``SELECT * FROM relation ORDER BY key_column [DESC]``.
+
+    Descending order reuses the ascending machinery on complemented keys
+    (``~key`` in 32 bits) — no separate code path through the approximate
+    memory layer.
+    """
+    sorter = make_sorter(algorithm) if isinstance(algorithm, str) else algorithm
+    keys = relation.sort_key_column(key_column)
+    if descending:
+        keys = [WORD_LIMIT - 1 - key for key in keys]
+
+    permutation, stats, plan, predicted = _sorted_permutation(
+        keys, memory, sorter, seed
+    )
+    output = relation.take(permutation)
+    _charge_materialization(
+        stats, len(relation), len(relation.column_names)
+    )
+    return OperatorResult(
+        relation=output,
+        stats=stats,
+        plan=plan,
+        predicted_write_reduction=predicted,
+    )
+
+
+def group_by_aggregate(
+    relation: Relation,
+    key_column: str,
+    aggregates: Mapping[str, tuple[str, str]],
+    memory: Optional[ApproxMemoryFactory] = None,
+    algorithm: "BaseSorter | str" = "lsd3",
+    seed: int = 0,
+) -> OperatorResult:
+    """Sort-based ``GROUP BY key_column`` with aggregation.
+
+    ``aggregates`` maps output column names to ``(function, input_column)``
+    pairs, e.g. ``{"total": ("sum", "amount"), "n": ("count", "amount")}``.
+    The sort runs under approx-refine (when predicted beneficial); grouping
+    is then a single sequential pass over the exactly-sorted permutation —
+    precision of the group boundaries is guaranteed by the mechanism.
+    """
+    for name, (function, _) in aggregates.items():
+        if function not in AGGREGATES:
+            raise ValueError(
+                f"unknown aggregate {function!r} for {name!r};"
+                f" available: {', '.join(sorted(AGGREGATES))}"
+            )
+    sorter = make_sorter(algorithm) if isinstance(algorithm, str) else algorithm
+    keys = relation.sort_key_column(key_column)
+    permutation, stats, plan, predicted = _sorted_permutation(
+        keys, memory, sorter, seed
+    )
+
+    group_keys: list[int] = []
+    group_rows: list[list[int]] = []
+    for index in permutation:
+        key = keys[index]
+        if not group_keys or key != group_keys[-1]:
+            group_keys.append(key)
+            group_rows.append([])
+        group_rows[-1].append(index)
+
+    columns: dict[str, list] = {key_column: group_keys}
+    for name, (function, input_column) in aggregates.items():
+        source = relation.column(input_column)
+        fn = AGGREGATES[function]
+        columns[name] = [
+            fn([source[i] for i in members]) for members in group_rows
+        ]
+    output = Relation(columns)
+    _charge_materialization(stats, len(output), len(columns))
+    return OperatorResult(
+        relation=output,
+        stats=stats,
+        plan=plan,
+        predicted_write_reduction=predicted,
+    )
+
+
+def sort_merge_join(
+    left: Relation,
+    right: Relation,
+    on: str,
+    memory: Optional[ApproxMemoryFactory] = None,
+    algorithm: "BaseSorter | str" = "lsd3",
+    suffixes: tuple[str, str] = ("_l", "_r"),
+    seed: int = 0,
+) -> OperatorResult:
+    """Inner sort-merge join on an integer key column.
+
+    Both inputs are sorted (each through the hybrid path when predicted
+    beneficial), then merged.  Common non-key column names are
+    disambiguated with ``suffixes``.
+    """
+    sorter = make_sorter(algorithm) if isinstance(algorithm, str) else algorithm
+    left_keys = left.sort_key_column(on)
+    right_keys = right.sort_key_column(on)
+
+    left_perm, stats, left_plan, predicted = _sorted_permutation(
+        left_keys, memory, sorter, seed
+    )
+    right_perm, right_stats, right_plan, _ = _sorted_permutation(
+        right_keys, memory, sorter, seed + 1
+    )
+    stats.merge(right_stats)
+    plan = left_plan if left_plan == right_plan else "mixed"
+
+    # Merge phase over the two sorted key streams.
+    pairs: list[tuple[int, int]] = []
+    i = j = 0
+    nl, nr = len(left_perm), len(right_perm)
+    while i < nl and j < nr:
+        lk = left_keys[left_perm[i]]
+        rk = right_keys[right_perm[j]]
+        if lk < rk:
+            i += 1
+        elif lk > rk:
+            j += 1
+        else:
+            # Expand the equal-key blocks on both sides.
+            i_end = i
+            while i_end < nl and left_keys[left_perm[i_end]] == lk:
+                i_end += 1
+            j_end = j
+            while j_end < nr and right_keys[right_perm[j_end]] == rk:
+                j_end += 1
+            for a in range(i, i_end):
+                for b in range(j, j_end):
+                    pairs.append((left_perm[a], right_perm[b]))
+            i, j = i_end, j_end
+
+    overlap = (set(left.column_names) & set(right.column_names)) - {on}
+    columns: dict[str, list] = {on: [left_keys[a] for a, _ in pairs]}
+    for name in left.column_names:
+        if name == on:
+            continue
+        out_name = name + suffixes[0] if name in overlap else name
+        source = left.column(name)
+        columns[out_name] = [source[a] for a, _ in pairs]
+    for name in right.column_names:
+        if name == on:
+            continue
+        out_name = name + suffixes[1] if name in overlap else name
+        source = right.column(name)
+        columns[out_name] = [source[b] for _, b in pairs]
+
+    output = Relation(columns) if pairs else Relation(
+        {name: [] for name in columns}
+    )
+    _charge_materialization(stats, len(pairs), len(columns))
+    return OperatorResult(
+        relation=output,
+        stats=stats,
+        plan=plan,
+        predicted_write_reduction=predicted,
+    )

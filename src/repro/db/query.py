@@ -1,0 +1,281 @@
+"""A small logical query plan over the hybrid-memory operators.
+
+The paper frames sorting as the engine under database operators; this
+module closes the loop with a minimal volcano-style plan language so whole
+queries run with their sorts off-loaded to approximate memory::
+
+    plan = Sort(
+        GroupBy(
+            Filter(Scan(orders), "amount", ">=", 1000),
+            key="customer",
+            aggregates={"total": ("sum", "amount")},
+        ),
+        key="total",
+        descending=True,
+    )
+    result = execute(plan, memory=PCMMemoryFactory(MLCParams(t=0.055)))
+
+Every sort-backed node (Sort, GroupBy, Join) independently consults the
+Equation-4 switch; ``result.decisions`` records which plan each chose, and
+``explain`` renders the tree.  Filter and Project are streaming passes
+whose reads/writes are accounted like everything else.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional, Sequence, Union
+
+from repro.memory.factories import ApproxMemoryFactory
+from repro.memory.stats import MemoryStats
+
+from .operators import group_by_aggregate, order_by, sort_merge_join
+from .table import Relation
+
+#: Comparison operators accepted by Filter.
+COMPARATORS: dict[str, Callable] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+@dataclass(frozen=True)
+class Scan:
+    """Leaf node: an in-memory relation."""
+
+    relation: Relation
+    name: str = "relation"
+
+
+@dataclass(frozen=True)
+class Filter:
+    """``WHERE column <op> value`` over the child's rows."""
+
+    child: "PlanNode"
+    column: str
+    op: str
+    value: object
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARATORS:
+            raise ValueError(
+                f"unknown comparator {self.op!r};"
+                f" available: {', '.join(COMPARATORS)}"
+            )
+
+
+@dataclass(frozen=True)
+class Project:
+    """``SELECT columns`` from the child."""
+
+    child: "PlanNode"
+    columns: tuple[str, ...]
+
+    def __init__(self, child: "PlanNode", columns: Sequence[str]) -> None:
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "columns", tuple(columns))
+
+
+@dataclass(frozen=True)
+class Sort:
+    """``ORDER BY key [DESC]``."""
+
+    child: "PlanNode"
+    key: str
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class GroupBy:
+    """``GROUP BY key`` with named aggregates."""
+
+    child: "PlanNode"
+    key: str
+    aggregates: tuple[tuple[str, tuple[str, str]], ...]
+
+    def __init__(
+        self,
+        child: "PlanNode",
+        key: str,
+        aggregates: Mapping[str, tuple[str, str]],
+    ) -> None:
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "key", key)
+        object.__setattr__(self, "aggregates", tuple(aggregates.items()))
+
+
+@dataclass(frozen=True)
+class Join:
+    """Inner sort-merge join of two subplans on an integer column."""
+
+    left: "PlanNode"
+    right: "PlanNode"
+    on: str
+
+
+@dataclass(frozen=True)
+class Limit:
+    """``LIMIT count`` — keep the child's first ``count`` rows.
+
+    Composed under a ``Sort`` this is top-k; the count is validated here,
+    the truncation is a zero-read slice of the child's columns (the rows
+    were already materialized by the child).
+    """
+
+    child: "PlanNode"
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError(f"limit must be non-negative, got {self.count}")
+
+
+PlanNode = Union[Scan, Filter, Project, Sort, GroupBy, Join, Limit]
+
+
+@dataclass
+class ExecutionResult:
+    """Output relation plus the whole query's accounting and decisions."""
+
+    relation: Relation
+    stats: MemoryStats
+    decisions: list[str] = field(default_factory=list)
+
+
+def explain(node: PlanNode, indent: int = 0) -> str:
+    """Render the plan tree, one node per line."""
+    pad = "  " * indent
+    if isinstance(node, Scan):
+        return f"{pad}Scan({node.name}: {len(node.relation)} rows)"
+    if isinstance(node, Filter):
+        return (
+            f"{pad}Filter({node.column} {node.op} {node.value!r})\n"
+            + explain(node.child, indent + 1)
+        )
+    if isinstance(node, Project):
+        return (
+            f"{pad}Project({', '.join(node.columns)})\n"
+            + explain(node.child, indent + 1)
+        )
+    if isinstance(node, Sort):
+        direction = "desc" if node.descending else "asc"
+        return (
+            f"{pad}Sort({node.key} {direction})\n"
+            + explain(node.child, indent + 1)
+        )
+    if isinstance(node, GroupBy):
+        aggs = ", ".join(
+            f"{name}={fn}({col})" for name, (fn, col) in node.aggregates
+        )
+        return (
+            f"{pad}GroupBy({node.key}; {aggs})\n"
+            + explain(node.child, indent + 1)
+        )
+    if isinstance(node, Join):
+        return (
+            f"{pad}Join(on={node.on})\n"
+            + explain(node.left, indent + 1)
+            + "\n"
+            + explain(node.right, indent + 1)
+        )
+    if isinstance(node, Limit):
+        return f"{pad}Limit({node.count})\n" + explain(node.child, indent + 1)
+    raise TypeError(f"unknown plan node: {node!r}")
+
+
+def execute(
+    node: PlanNode,
+    memory: Optional[ApproxMemoryFactory] = None,
+    algorithm: str = "lsd3",
+    seed: int = 0,
+) -> ExecutionResult:
+    """Evaluate a plan bottom-up; sorts use the hybrid path when predicted
+    beneficial.  Accounting accumulates across the whole tree."""
+    result = ExecutionResult(relation=Relation({"_": []}), stats=MemoryStats())
+    result.relation = _evaluate(node, memory, algorithm, seed, result)
+    return result
+
+
+def _evaluate(
+    node: PlanNode,
+    memory: Optional[ApproxMemoryFactory],
+    algorithm: str,
+    seed: int,
+    result: ExecutionResult,
+) -> Relation:
+    if isinstance(node, Scan):
+        return node.relation
+
+    if isinstance(node, Filter):
+        child = _evaluate(node.child, memory, algorithm, seed, result)
+        compare = COMPARATORS[node.op]
+        column = child.column(node.column)
+        # One accounted read per probed cell, one write per surviving cell
+        # across the output's columns.
+        result.stats.record_precise_read(len(column))
+        keep = [i for i, v in enumerate(column) if compare(v, node.value)]
+        out = child.take(keep)
+        result.stats.record_precise_write(len(out) * len(out.column_names))
+        result.decisions.append(
+            f"filter({node.column}{node.op}{node.value!r}): "
+            f"{len(child)} -> {len(out)} rows"
+        )
+        return out
+
+    if isinstance(node, Project):
+        child = _evaluate(node.child, memory, algorithm, seed, result)
+        out = Relation(
+            {name: child.column(name) for name in node.columns}
+        )
+        result.stats.record_precise_read(len(child) * len(node.columns))
+        result.stats.record_precise_write(len(out) * len(node.columns))
+        result.decisions.append(
+            f"project({', '.join(node.columns)})"
+        )
+        return out
+
+    if isinstance(node, Sort):
+        child = _evaluate(node.child, memory, algorithm, seed, result)
+        op_result = order_by(
+            child, node.key, memory=memory, algorithm=algorithm,
+            descending=node.descending, seed=seed,
+        )
+        result.stats.merge(op_result.stats)
+        result.decisions.append(f"sort({node.key}): {op_result.plan}")
+        return op_result.relation
+
+    if isinstance(node, GroupBy):
+        child = _evaluate(node.child, memory, algorithm, seed, result)
+        op_result = group_by_aggregate(
+            child, node.key, dict(node.aggregates),
+            memory=memory, algorithm=algorithm, seed=seed,
+        )
+        result.stats.merge(op_result.stats)
+        result.decisions.append(f"group_by({node.key}): {op_result.plan}")
+        return op_result.relation
+
+    if isinstance(node, Join):
+        left = _evaluate(node.left, memory, algorithm, seed, result)
+        right = _evaluate(node.right, memory, algorithm, seed + 1, result)
+        op_result = sort_merge_join(
+            left, right, on=node.on, memory=memory, algorithm=algorithm,
+            seed=seed,
+        )
+        result.stats.merge(op_result.stats)
+        result.decisions.append(f"join({node.on}): {op_result.plan}")
+        return op_result.relation
+
+    if isinstance(node, Limit):
+        child = _evaluate(node.child, memory, algorithm, seed, result)
+        out = child.take(range(min(node.count, len(child))))
+        result.decisions.append(
+            f"limit({node.count}): {len(child)} -> {len(out)} rows"
+        )
+        return out
+
+    raise TypeError(f"unknown plan node: {node!r}")

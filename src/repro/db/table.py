@@ -1,0 +1,127 @@
+"""A minimal column-oriented relation.
+
+Sort keys must be 32-bit unsigned integers (the paper's key format —
+sixteen 2-bit MLC cells); other columns are opaque payload carried through
+operators by the record-ID permutation, exactly the paper's ``<Key, ID>``
+execution model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.memory.approx_array import WORD_LIMIT
+
+
+class Relation:
+    """An immutable bag of named, equal-length columns.
+
+    Parameters
+    ----------
+    columns:
+        Mapping of column name to a sequence of values.  All columns must
+        have the same length.
+    """
+
+    def __init__(self, columns: Mapping[str, Sequence[Any]]) -> None:
+        if not columns:
+            raise ValueError("a relation needs at least one column")
+        lengths = {name: len(values) for name, values in columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise ValueError(f"column lengths differ: {lengths}")
+        self._columns: dict[str, list[Any]] = {
+            name: list(values) for name, values in columns.items()
+        }
+        self._n = next(iter(lengths.values()))
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._columns)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def column(self, name: str) -> list[Any]:
+        """The values of one column (a copy-free internal reference)."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(
+                f"no column {name!r}; have {', '.join(self._columns)}"
+            ) from None
+
+    def sort_key_column(self, name: str) -> list[int]:
+        """A column validated as 32-bit unsigned sort keys."""
+        values = self.column(name)
+        for value in values:
+            if not isinstance(value, int) or not 0 <= value < WORD_LIMIT:
+                raise ValueError(
+                    f"column {name!r} is not 32-bit unsigned integer sort"
+                    f" keys (offending value: {value!r})"
+                )
+        return values
+
+    def rows(self) -> Iterable[tuple]:
+        """Iterate rows as tuples in column-name order."""
+        names = self.column_names
+        for i in range(self._n):
+            yield tuple(self._columns[name][i] for name in names)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_rows(
+        cls, names: Sequence[str], rows: Iterable[Sequence[Any]]
+    ) -> "Relation":
+        """Build a relation from row tuples."""
+        materialized = [tuple(row) for row in rows]
+        for row in materialized:
+            if len(row) != len(names):
+                raise ValueError(
+                    f"row {row!r} has {len(row)} values for {len(names)} columns"
+                )
+        return cls(
+            {
+                name: [row[i] for row in materialized]
+                for i, name in enumerate(names)
+            }
+        )
+
+    def take(self, indices: Sequence[int]) -> "Relation":
+        """A new relation of the rows at ``indices``, in that order."""
+        return Relation(
+            {
+                name: [values[i] for i in indices]
+                for name, values in self._columns.items()
+            }
+        )
+
+    def with_column(self, name: str, values: Sequence[Any]) -> "Relation":
+        """A new relation with ``name`` added or replaced."""
+        if len(values) != self._n:
+            raise ValueError(
+                f"column {name!r} has {len(values)} values for {self._n} rows"
+            )
+        columns = dict(self._columns)
+        columns[name] = list(values)
+        return Relation(columns)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Relation":
+        """A new relation with columns renamed per ``mapping``."""
+        return Relation(
+            {mapping.get(name, name): values for name, values in self._columns.items()}
+        )
+
+    def __repr__(self) -> str:
+        return f"Relation({self._n} rows: {', '.join(self.column_names)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._columns == other._columns

@@ -1,0 +1,11 @@
+"""Experiment harness: one module per paper table/figure (see DESIGN.md)."""
+
+from .common import ExperimentTable, RESULTS_DIR, SCALES, resolve_scale, scaled
+
+__all__ = [
+    "ExperimentTable",
+    "RESULTS_DIR",
+    "SCALES",
+    "resolve_scale",
+    "scaled",
+]

@@ -1,0 +1,127 @@
+"""Shared infrastructure of the experiment harness.
+
+Every table/figure of the paper has a module in this package exposing::
+
+    run(scale: str = ..., seed: int = 0) -> ExperimentTable
+
+Scales
+------
+The paper's experiments sort 16M records in a native C implementation.  This
+reproduction's per-access simulation is pure Python, so each experiment
+defines scaled-down input sizes per scale tier:
+
+* ``smoke``   — seconds; used by the test suite to exercise the harness.
+* ``default`` — minutes for the full bench suite; the recorded results in
+  EXPERIMENTS.md use this tier.
+* ``large``   — closer to the paper's regime; use when time permits.
+
+The tier comes from the ``REPRO_SCALE`` environment variable (or an explicit
+``scale=`` argument).  What is being reproduced are *shapes* — who wins,
+where the optimum ``T`` sits, signs of write reductions — which the paper's
+own Figure 10 (and Equation 4) shows are stable across sizes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+SCALES = ("smoke", "default", "large")
+
+#: Directory where bench runs persist their tables (JSON).
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def resolve_scale(scale: str | None = None) -> str:
+    """Pick the scale tier: explicit argument > REPRO_SCALE > default."""
+    value = scale if scale is not None else os.environ.get("REPRO_SCALE", "default")
+    if value not in SCALES:
+        raise ValueError(f"scale must be one of {SCALES}, got {value!r}")
+    return value
+
+
+def scaled(scale: str | None, smoke: int, default: int, large: int) -> int:
+    """Select a size by tier."""
+    tier = resolve_scale(scale)
+    return {"smoke": smoke, "default": default, "large": large}[tier]
+
+
+@dataclass
+class ExperimentTable:
+    """A reproduced table/figure: labelled rows of measured values.
+
+    ``paper_reference`` carries the corresponding numbers or shape claims
+    from the paper so EXPERIMENTS.md can show paper-vs-measured side by
+    side.
+    """
+
+    experiment: str
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    paper_reference: list[str] = field(default_factory=list)
+    #: Auxiliary payload (e.g. downsampled series for plotting); serialized
+    #: to JSON but not rendered in the text table.
+    extra: dict = field(default_factory=dict)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> list:
+        """All values of one column, by header name."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def to_text(self) -> str:
+        """Render as an aligned text table with notes."""
+
+        def fmt(value) -> str:
+            if isinstance(value, float):
+                return f"{value:.4f}"
+            return str(value)
+
+        cells = [self.columns] + [[fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(row[i]) for row in cells) for i in range(len(self.columns))
+        ]
+        lines = [f"== {self.experiment}: {self.title} =="]
+        for row in cells:
+            lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        for ref in self.paper_reference:
+            lines.append(f"paper: {ref}")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "experiment": self.experiment,
+                "title": self.title,
+                "columns": self.columns,
+                "rows": self.rows,
+                "notes": self.notes,
+                "paper_reference": self.paper_reference,
+                "extra": self.extra,
+            },
+            indent=2,
+        )
+
+    def save(self, directory: Path | None = None) -> Path:
+        """Persist to ``benchmarks/results/<experiment>.json``."""
+        target_dir = directory if directory is not None else RESULTS_DIR
+        target_dir.mkdir(parents=True, exist_ok=True)
+        path = target_dir / f"{self.experiment}.json"
+        path.write_text(self.to_json())
+        return path
+
+
+def fmt_pct(value: float) -> str:
+    """Format a ratio as a signed percentage for notes."""
+    return f"{value * 100:+.1f}%"

@@ -1,0 +1,116 @@
+"""Extension: end-to-end database operators on hybrid memory.
+
+The paper motivates sorting through database operators and leaves "other
+database operations (such as aggregations)" as future work.  This
+experiment runs the three classic sort-driven operators — ORDER BY,
+sort-based GROUP BY aggregation, sort-merge JOIN — end to end on hybrid
+memory (T = 0.055, 3-bit LSD in the sort) and reports the total write
+reduction against precise-only execution, *including* the operator-level
+costs the sorting microbenchmark does not see (output materialization,
+merge/aggregation passes).
+
+Expected shape: positive but diluted reductions — the sort is only part of
+each operator, so operator-level gains sit below the Figure-9 sort-level
+gains, with JOIN (two sorts per output) retaining the most.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.db.operators import group_by_aggregate, order_by, sort_merge_join
+from repro.db.table import Relation
+from repro.memory.config import MLCParams
+from repro.memory.factories import PCMMemoryFactory
+from repro.memory.stats import write_reduction
+
+from .common import ExperimentTable, resolve_scale, scaled
+from .fig04_sortedness import _fit_samples
+
+SWEET_SPOT_T = 0.055
+ALGORITHM = "lsd3"
+
+
+def _relation(n: int, seed: int, key_space: int) -> Relation:
+    rng = random.Random(seed)
+    return Relation(
+        {
+            "key": [rng.randrange(key_space) for _ in range(n)],
+            "value": [rng.randrange(1_000_000) for _ in range(n)],
+        }
+    )
+
+
+def run(scale: str | None = None, seed: int = 0) -> ExperimentTable:
+    tier = resolve_scale(scale)
+    n = scaled(tier, smoke=1_200, default=10_000, large=40_000)
+    fit = _fit_samples(tier)
+    memory = PCMMemoryFactory(MLCParams(t=SWEET_SPOT_T), fit_samples=fit)
+
+    table = ExperimentTable(
+        experiment="ext_db",
+        title="Extension: relational operators on hybrid memory"
+        f" (T = {SWEET_SPOT_T}, {ALGORITHM})",
+        columns=["operator", "plan", "write_reduction", "output_rows"],
+        notes=[
+            f"scale={tier}, n={n}; reduction includes operator-level costs"
+            " (output materialization, merge/aggregation passes)",
+        ],
+        paper_reference=[
+            "Not in the paper (its Section-7 future work); expected:"
+            " positive but diluted vs the Fig-9 sort-level gains",
+        ],
+    )
+
+    # ORDER BY over wide-ish keys.
+    rel = _relation(n, seed, key_space=2**32)
+    hybrid = order_by(rel, "key", memory=memory, algorithm=ALGORITHM, seed=seed)
+    precise = order_by(rel, "key", algorithm=ALGORITHM, seed=seed)
+    table.add_row(
+        "order_by",
+        hybrid.plan,
+        write_reduction(
+            precise.stats.equivalent_precise_writes,
+            hybrid.stats.equivalent_precise_writes,
+        ),
+        len(hybrid.relation),
+    )
+
+    # GROUP BY with a few hundred groups.
+    rel = _relation(n, seed + 1, key_space=max(4, n // 50))
+    aggregates = {"total": ("sum", "value"), "n": ("count", "value")}
+    hybrid = group_by_aggregate(
+        rel, "key", aggregates, memory=memory, algorithm=ALGORITHM, seed=seed
+    )
+    precise = group_by_aggregate(
+        rel, "key", aggregates, algorithm=ALGORITHM, seed=seed
+    )
+    table.add_row(
+        "group_by",
+        hybrid.plan,
+        write_reduction(
+            precise.stats.equivalent_precise_writes,
+            hybrid.stats.equivalent_precise_writes,
+        ),
+        len(hybrid.relation),
+    )
+
+    # JOIN with ~1 match per probe on average.
+    left = _relation(n, seed + 2, key_space=n)
+    right = _relation(n, seed + 3, key_space=n)
+    hybrid = sort_merge_join(
+        left, right, on="key", memory=memory, algorithm=ALGORITHM, seed=seed
+    )
+    precise = sort_merge_join(
+        left, right, on="key", algorithm=ALGORITHM, seed=seed
+    )
+    table.add_row(
+        "join",
+        hybrid.plan,
+        write_reduction(
+            precise.stats.equivalent_precise_writes,
+            hybrid.stats.equivalent_precise_writes,
+        ),
+        len(hybrid.relation),
+    )
+    return table

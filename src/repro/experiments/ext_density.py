@@ -1,0 +1,66 @@
+"""Extension: the density / performance / reliability triangle of MLC cells.
+
+The substrate paper (quoted in the paper's Section 2) frames MLC design as
+a three-way trade: more levels per cell buy density but "require tighter
+error functions and [are] thus typically slower"; approximate storage
+spends the third axis, reliability.  The paper fixes 4 levels (2 bits); this
+experiment sweeps cell density — SLC (2 levels), MLC (4), TLC (8) — with
+the target width expressed as a *fraction* of each cell's level band, and
+characterizes write cost and error rate at each point.
+
+Expected shapes: at the same band fraction, denser cells need more P&V
+iterations (absolute target ranges shrink with 1/levels) and err more; SLC
+is nearly unbreakable even with no guard band.
+"""
+
+from __future__ import annotations
+
+from repro.memory.characterization import characterize_point
+from repro.memory.config import MLCParams
+
+from .common import ExperimentTable, resolve_scale, scaled
+
+#: Cell densities studied: SLC, the paper's MLC, TLC.
+LEVELS = (2, 4, 8)
+
+#: Target half-width as a fraction of the band half-width ``1/(2*levels)``.
+BAND_FRACTIONS = (0.2, 0.4, 0.6, 0.8, 0.99)
+
+
+def run(scale: str | None = None, seed: int = 0) -> ExperimentTable:
+    tier = resolve_scale(scale)
+    trials = scaled(tier, smoke=20_000, default=200_000, large=1_000_000)
+
+    table = ExperimentTable(
+        experiment="ext_density",
+        title="Extension: write cost and error rate vs cell density",
+        columns=[
+            "levels",
+            "bits_per_cell",
+            "band_fraction",
+            "T",
+            "avg_#P",
+            "cell_error_rate",
+        ],
+        notes=[f"scale={tier}, trials/point={trials}"],
+        paper_reference=[
+            "Substrate framing (paper Section 2 background): denser cells"
+            " are slower and less reliable at the same relative precision;"
+            " expected: #P and error grow with level count at every band"
+            " fraction",
+        ],
+    )
+    for levels in LEVELS:
+        band = 1.0 / (2 * levels)
+        for fraction in BAND_FRACTIONS:
+            params = MLCParams(levels=levels, t=round(fraction * band, 6))
+            point = characterize_point(params, trials=trials, seed=seed)
+            table.add_row(
+                levels,
+                params.bits_per_cell,
+                fraction,
+                params.t,
+                point.avg_iterations,
+                point.cell_error_rate,
+            )
+    return table

@@ -1,0 +1,47 @@
+"""Figure 2: impact of T on write performance and accuracy of a 2-bit MLC.
+
+Monte-Carlo characterization of the 4-level cell: for each ``T`` from 0.025
+to 0.124, measure the average number of P&V iterations (Fig 2a) and the
+error rates of a 2-bit cell and a 32-bit word (Fig 2b).
+
+Paper anchors: avg #P = 2.98 at T = 0.025; roughly halved at T = 0.1; the
+error rates stay negligible until T ~ 0.05 and burst beyond T ~ 0.06.
+"""
+
+from __future__ import annotations
+
+from repro.memory.characterization import characterize
+from repro.memory.config import MLCParams, t_sweep
+
+from .common import ExperimentTable, resolve_scale, scaled
+
+#: The paper's Fig-2 sweep: 0.025 .. 0.12 at 0.005 plus the 0.124 endpoint.
+FIG2_T_VALUES = t_sweep(0.025, 0.12, 0.005) + [0.124]
+
+
+def run(scale: str | None = None, seed: int = 0) -> ExperimentTable:
+    tier = resolve_scale(scale)
+    trials = scaled(tier, smoke=20_000, default=400_000, large=4_000_000)
+    points = characterize(FIG2_T_VALUES, MLCParams(), trials=trials, seed=seed)
+
+    table = ExperimentTable(
+        experiment="fig02",
+        title="Avg #P and error rate vs T (Monte-Carlo, 4-level cell)",
+        columns=["T", "avg_#P", "p(t)", "cell_error_rate", "word_error_rate"],
+        notes=[f"scale={tier}, trials/point={trials}"],
+        paper_reference=[
+            "Fig 2a: avg #P = 2.98 at T=0.025, ~50% fewer iterations at T=0.1",
+            "Fig 2b: error rates negligible below T~0.05, bursting beyond T~0.06;"
+            " 32-bit word error rate reaches ~60-70% at T=0.124",
+        ],
+    )
+    reference = points[0].avg_iterations
+    for point in points:
+        table.add_row(
+            point.t,
+            point.avg_iterations,
+            point.avg_iterations / reference,
+            point.cell_error_rate,
+            point.word_error_rate,
+        )
+    return table

@@ -1,0 +1,83 @@
+"""Figure 4: sorting entirely in approximate memory (the Step-1 study).
+
+Sorts uniform random keys in approximate memory for each ``T`` in
+[0.025, 0.1] and reports, per algorithm:
+
+* Fig 4a — error rate (fraction of elements whose values deviate);
+* Fig 4b — Rem ratio of the output;
+* Fig 4c — write reduction vs sorting the same workload in precise memory
+  (Equation 1: pure latency ratio, no refinement involved).
+
+Paper anchors (16M keys): error and Rem grow rapidly beyond T ~ 0.06;
+mergesort's Rem explodes much earlier than the others (55.8% already at
+T = 0.055); write reduction reaches ~50% at T = 0.1 but flattens.
+"""
+
+from __future__ import annotations
+
+from repro.core.approx_refine import run_approx_only
+from repro.memory.config import MLCParams, t_sweep
+from repro.memory.error_model import DEFAULT_FIT_SAMPLES
+from repro.memory.factories import PCMMemoryFactory
+from repro.memory.stats import MemoryStats, write_reduction
+from repro.memory.approx_array import PreciseArray
+from repro.sorting.registry import make_sorter
+from repro.workloads.generators import uniform_keys
+
+from .common import ExperimentTable, resolve_scale, scaled
+
+#: Algorithms of the Fig-4 study (LSD/MSD are the 6-bit defaults).
+ALGORITHMS = ("lsd6", "msd6", "quicksort", "mergesort")
+
+
+def _fit_samples(tier: str) -> int:
+    return {"smoke": 20_000, "default": DEFAULT_FIT_SAMPLES, "large": DEFAULT_FIT_SAMPLES}[tier]
+
+
+def precise_write_units(keys: list[int], algorithm: str) -> float:
+    """Key-write units of sorting ``keys`` in precise memory (no payload)."""
+    stats = MemoryStats()
+    array = PreciseArray(keys, stats=stats)
+    make_sorter(algorithm).sort(array)
+    return stats.equivalent_precise_writes
+
+
+def run(
+    scale: str | None = None,
+    seed: int = 0,
+    t_values: list[float] | None = None,
+    algorithms: tuple[str, ...] = ALGORITHMS,
+) -> ExperimentTable:
+    tier = resolve_scale(scale)
+    n = scaled(tier, smoke=1_500, default=8_000, large=40_000)
+    ts = t_values if t_values is not None else t_sweep()
+    keys = uniform_keys(n, seed=seed)
+
+    table = ExperimentTable(
+        experiment="fig04",
+        title="Sorting in approximate memory only: error rate, Rem ratio,"
+        " write reduction vs T",
+        columns=["T", "algorithm", "error_rate", "rem_ratio", "write_reduction"],
+        notes=[f"scale={tier}, n={n} (paper: 16M)"],
+        paper_reference=[
+            "Fig 4a/4b: error rate and Rem ratio grow rapidly for T > 0.06",
+            "Fig 4b: mergesort Rem ratio far above the others at every T",
+            "Fig 4c: write reduction ~33% at T=0.055, ~50% at T=0.1,"
+            " with diminishing slope",
+        ],
+    )
+
+    baselines = {
+        algorithm: precise_write_units(keys, algorithm) for algorithm in algorithms
+    }
+    fit = _fit_samples(tier)
+    for t in ts:
+        memory = PCMMemoryFactory(MLCParams(t=t), fit_samples=fit)
+        for algorithm in algorithms:
+            result = run_approx_only(keys, algorithm, memory, seed=seed)
+            reduction = write_reduction(
+                baselines[algorithm] + n,  # + n: the initial placement writes
+                result.stats.equivalent_precise_writes,
+            )
+            table.add_row(t, algorithm, result.error_rate, result.rem_ratio, reduction)
+    return table

@@ -1,0 +1,58 @@
+"""Figure 12: Rem ratio on the approximate spintronic model (Appendix A).
+
+Sorts uniform keys entirely in approximate spintronic memory at the four
+energy/error configuration points and reports the Rem ratio of each
+algorithm's output.
+
+Paper anchors: at 5% energy saving per write (BER 1e-7) errors are rare and
+the output is nearly sorted; Rem grows with the saving; mergesort degrades
+far faster than the rest; at 50% saving (BER 1e-4) the paper describes the
+output as "still almost random" (dominated by mergesort's collapse — see
+EXPERIMENTS.md for the per-algorithm discussion).
+"""
+
+from __future__ import annotations
+
+from repro.core.approx_refine import run_approx_only
+from repro.memory.config import SPINTRONIC_CONFIGS
+from repro.memory.factories import SpintronicMemoryFactory
+from repro.workloads.generators import uniform_keys
+
+from .common import ExperimentTable, resolve_scale, scaled
+
+ALGORITHMS = ("lsd6", "msd6", "quicksort", "mergesort")
+
+
+def run(scale: str | None = None, seed: int = 0) -> ExperimentTable:
+    tier = resolve_scale(scale)
+    n = scaled(tier, smoke=1_500, default=8_000, large=40_000)
+    keys = uniform_keys(n, seed=seed)
+
+    table = ExperimentTable(
+        experiment="fig12",
+        title="Rem ratio vs energy saving per write (spintronic model)",
+        columns=[
+            "energy_saving",
+            "bit_error_rate",
+            "algorithm",
+            "rem_ratio",
+            "error_rate",
+        ],
+        notes=[f"scale={tier}, n={n} (paper: 16M)"],
+        paper_reference=[
+            "5% saving (BER 1e-7): nearly sorted for all algorithms",
+            "Rem grows with saving; mergesort worst by far at 1e-5/1e-4",
+        ],
+    )
+    for params in SPINTRONIC_CONFIGS:
+        memory = SpintronicMemoryFactory(params)
+        for algorithm in ALGORITHMS:
+            result = run_approx_only(keys, algorithm, memory, seed=seed)
+            table.add_row(
+                params.energy_saving,
+                params.bit_error_rate,
+                algorithm,
+                result.rem_ratio,
+                result.error_rate,
+            )
+    return table

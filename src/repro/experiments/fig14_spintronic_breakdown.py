@@ -1,0 +1,67 @@
+"""Figure 14: breakdown of write energy into approx and refine stages.
+
+The spintronic counterpart of Figure 11: per-write energy saving fixed at
+33% (BER 1e-5), energies normalized to 3-bit LSD's approx stage.
+
+Paper anchor: "the energy consumption of the refine stage is mostly
+negligible except for merge sort".
+"""
+
+from __future__ import annotations
+
+from repro.core.approx_refine import run_approx_refine
+from repro.memory.config import SPINTRONIC_CONFIGS
+from repro.memory.factories import SpintronicMemoryFactory
+from repro.workloads.generators import uniform_keys
+
+from .common import ExperimentTable, resolve_scale, scaled
+
+ALGORITHMS = (
+    "lsd3", "lsd4", "lsd5", "lsd6",
+    "msd3", "msd4", "msd5", "msd6",
+    "quicksort", "mergesort",
+)
+
+REFERENCE_ALGORITHM = "lsd3"
+
+#: The paper's Figure-14 configuration: 33% saving per approximate write.
+CONFIG_33 = next(c for c in SPINTRONIC_CONFIGS if abs(c.energy_saving - 0.33) < 1e-9)
+
+
+def run(scale: str | None = None, seed: int = 0) -> ExperimentTable:
+    tier = resolve_scale(scale)
+    n = scaled(tier, smoke=1_200, default=16_000, large=60_000)
+    keys = uniform_keys(n, seed=seed)
+    memory = SpintronicMemoryFactory(CONFIG_33)
+
+    results = {
+        algorithm: run_approx_refine(keys, algorithm, memory, seed=seed)
+        for algorithm in ALGORITHMS
+    }
+    reference = results[REFERENCE_ALGORITHM].approx_units
+
+    table = ExperimentTable(
+        experiment="fig14",
+        title="Breakdown of write energy (33% saving/write, normalized to"
+        " 3-bit LSD approx)",
+        columns=[
+            "algorithm",
+            "approx_normalized",
+            "refine_normalized",
+            "total_normalized",
+            "refine_fraction",
+        ],
+        notes=[f"scale={tier}, n={n}, saving/write=33% (BER 1e-5)"],
+        paper_reference=[
+            "Refine energy mostly negligible except for mergesort",
+        ],
+    )
+    for algorithm in ALGORITHMS:
+        result = results[algorithm]
+        approx = result.approx_units / reference
+        refine = result.refine_units / reference
+        table.add_row(
+            algorithm, approx, refine, approx + refine,
+            refine / (approx + refine),
+        )
+    return table

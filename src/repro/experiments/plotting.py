@@ -1,0 +1,234 @@
+"""ASCII rendering of saved experiment results.
+
+The environment this reproduction targets is terminal-only (no matplotlib),
+but several of the paper's artifacts are *plots* — the Fig-9 write-reduction
+curves, the Fig-5-7 output-shape scatters.  This module renders the JSON
+records saved by the benches as ASCII charts::
+
+    python -m repro.experiments.plotting --exp fig09
+    python -m repro.experiments.plotting --exp fig05_07
+
+Renderers are pure functions over data (tested in
+``tests/experiments/test_plotting.py``); the CLI is a thin file-reading
+wrapper.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from .common import RESULTS_DIR
+
+#: Glyphs assigned to chart series, in order.
+SERIES_GLYPHS = "ox*+#@%&"
+
+
+def ascii_line_chart(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+) -> str:
+    """Render labelled line series over a shared x axis.
+
+    Each series must have one y per x.  Returns a multi-line string with a
+    y-axis scale, an x-axis range line, and a glyph legend.
+    """
+    if not xs:
+        return f"{title}\n(no data)"
+    for label, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(
+                f"series {label!r} has {len(ys)} points for {len(xs)} xs"
+            )
+    all_ys = [y for ys in series.values() for y in ys]
+    if not all_ys:
+        return f"{title}\n(no series)"
+    y_min = min(all_ys)
+    y_max = max(all_ys)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(xs), max(xs)
+    x_span = (x_max - x_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    # Zero line, when visible, helps read write-reduction signs.
+    if y_min < 0 < y_max:
+        zero_row = int((y_max - 0.0) / (y_max - y_min) * (height - 1))
+        for c in range(width):
+            grid[zero_row][c] = "-"
+
+    for glyph, (label, ys) in zip(SERIES_GLYPHS, series.items()):
+        for x, y in zip(xs, ys):
+            col = int((x - x_min) / x_span * (width - 1))
+            row = int((y_max - y) / (y_max - y_min) * (height - 1))
+            grid[row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = f"{y_max:+8.3f} |"
+        elif r == height - 1:
+            prefix = f"{y_min:+8.3f} |"
+        else:
+            prefix = " " * 9 + "|"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(f"{'':9s} {x_min:<12g}{'':^{max(0, width - 26)}}{x_max:>12g}")
+    legend = "  ".join(
+        f"{glyph}={label}"
+        for glyph, label in zip(SERIES_GLYPHS, series)
+    )
+    lines.append(f"{'':9s} {legend}")
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    values: Sequence[float],
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Render a value-vs-index scatter (the Fig-5-7 output shapes).
+
+    A fully sorted sequence draws an ascending diagonal; corruption shows
+    as off-diagonal noise.
+    """
+    if not values:
+        return f"{title}\n(no data)"
+    v_min = min(values)
+    v_max = max(values)
+    span = (v_max - v_min) or 1.0
+    n = len(values)
+
+    grid = [[" "] * width for _ in range(height)]
+    for i, v in enumerate(values):
+        col = int(i / max(1, n - 1) * (width - 1))
+        row = int((v_max - v) / span * (height - 1))
+        grid[row][col] = "."
+    lines = [title] if title else []
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    return "\n".join(lines)
+
+
+def load_result(experiment: str, results_dir: Path | None = None) -> dict:
+    """Load a saved experiment record."""
+    directory = results_dir if results_dir is not None else RESULTS_DIR
+    path = directory / f"{experiment}.json"
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no saved results at {path}; run the bench or"
+            " `python -m repro --exp {experiment} --save` first"
+        )
+    return json.loads(path.read_text())
+
+
+def render_curves(
+    payload: dict,
+    x_column: str,
+    y_column: str,
+    label_column: str,
+    labels: Sequence[str] | None = None,
+) -> str:
+    """Render one saved table as per-label line series over ``x_column``."""
+    columns = payload["columns"]
+    xi = columns.index(x_column)
+    yi = columns.index(y_column)
+    li = columns.index(label_column)
+    series: dict[str, dict[float, float]] = {}
+    for row in payload["rows"]:
+        series.setdefault(row[li], {})[row[xi]] = row[yi]
+    if labels is not None:
+        series = {k: v for k, v in series.items() if k in labels}
+    xs = sorted({x for points in series.values() for x in points})
+    aligned = {
+        label: [points.get(x, float("nan")) for x in xs]
+        for label, points in series.items()
+    }
+    # Drop NaNs by forward-filling from the nearest present point.
+    for ys in aligned.values():
+        last = next((y for y in ys if y == y), 0.0)
+        for i, y in enumerate(ys):
+            if y != y:
+                ys[i] = last
+            else:
+                last = y
+    return ascii_line_chart(
+        xs,
+        aligned,
+        title=f"{payload['experiment']}: {y_column} vs {x_column}",
+    )
+
+
+def render_shapes(payload: dict, figure: str = "fig06") -> str:
+    """Render the saved Fig-5-7 output series for one figure."""
+    series = payload.get("extra", {}).get("series", {})
+    charts = []
+    for key in sorted(series):
+        if key.startswith(figure):
+            charts.append(
+                ascii_scatter(series[key], title=key, height=12)
+            )
+    if not charts:
+        raise ValueError(f"no saved series for figure {figure!r}")
+    return "\n\n".join(charts)
+
+
+#: Per-experiment default renderings: (x, y, label) columns.
+CURVE_DEFAULTS = {
+    "fig02": ("T", "avg_#P", None),
+    "fig04": ("T", "write_reduction", "algorithm"),
+    "fig09": ("T", "write_reduction", "algorithm"),
+    "fig10": ("n", "write_reduction", "algorithm"),
+    "fig13": ("energy_saving_per_write", "total_energy_saving", "algorithm"),
+    "fig15": ("T", "write_reduction", "algorithm"),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.plotting",
+        description="Render saved experiment results as ASCII charts.",
+    )
+    parser.add_argument("--exp", required=True)
+    parser.add_argument(
+        "--labels", nargs="*", default=None,
+        help="subset of series labels to draw",
+    )
+    parser.add_argument(
+        "--figure", default="fig06",
+        help="which figure to render for fig05_07 (fig05/fig06/fig07)",
+    )
+    parser.add_argument("--results-dir", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    payload = load_result(args.exp, args.results_dir)
+    if args.exp == "fig05_07":
+        print(render_shapes(payload, args.figure))
+        return 0
+    if args.exp in CURVE_DEFAULTS:
+        x, y, label = CURVE_DEFAULTS[args.exp]
+        if label is None:
+            xs = [row[payload["columns"].index(x)] for row in payload["rows"]]
+            ys = [row[payload["columns"].index(y)] for row in payload["rows"]]
+            print(ascii_line_chart(xs, {y: ys}, title=f"{args.exp}: {y} vs {x}"))
+        else:
+            print(render_curves(payload, x, y, label, args.labels))
+        return 0
+    parser.error(
+        f"no default rendering for {args.exp!r};"
+        f" supported: {', '.join(sorted(CURVE_DEFAULTS) + ['fig05_07'])}"
+    )
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

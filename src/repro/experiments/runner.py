@@ -1,0 +1,121 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments.runner --list
+    python -m repro.experiments.runner --exp fig09 --scale smoke
+    python -m repro.experiments.runner --all --scale default --save
+
+Each experiment prints its table; ``--save`` also writes the JSON record to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from .common import ExperimentTable, SCALES
+
+from . import (
+    ablation_refine,
+    ext_db,
+    ext_density,
+    ext_distributions,
+    ext_external,
+    ext_gray,
+    ext_pipeline_sim,
+    ext_priority,
+    ext_sequential,
+    ext_total_time,
+    ext_variance,
+    ext_write_combining,
+    fig02_cell,
+    fig04_sortedness,
+    fig05_07_shapes,
+    fig09_write_reduction_t,
+    fig10_write_reduction_n,
+    fig11_breakdown,
+    fig12_spintronic_rem,
+    fig13_spintronic_saving,
+    fig14_spintronic_breakdown,
+    fig15_histogram_radix,
+    pcmsim_consistency,
+    table3_rem,
+)
+
+#: Registry of experiment names to their run() callables: the paper's
+#: tables/figures in paper order, then the extension studies.
+EXPERIMENTS: dict[str, Callable[..., ExperimentTable]] = {
+    "fig02": fig02_cell.run,
+    "fig04": fig04_sortedness.run,
+    "fig05_07": fig05_07_shapes.run,
+    "table3": table3_rem.run,
+    "fig09": fig09_write_reduction_t.run,
+    "fig10": fig10_write_reduction_n.run,
+    "fig11": fig11_breakdown.run,
+    "fig12": fig12_spintronic_rem.run,
+    "fig13": fig13_spintronic_saving.run,
+    "fig14": fig14_spintronic_breakdown.run,
+    "fig15": fig15_histogram_radix.run,
+    "pcmsim": pcmsim_consistency.run,
+    "ablation_refine": ablation_refine.run,
+    "ext_db": ext_db.run,
+    "ext_density": ext_density.run,
+    "ext_distributions": ext_distributions.run,
+    "ext_external": ext_external.run,
+    "ext_gray": ext_gray.run,
+    "ext_pipeline_sim": ext_pipeline_sim.run,
+    "ext_priority": ext_priority.run,
+    "ext_sequential": ext_sequential.run,
+    "ext_total_time": ext_total_time.run,
+    "ext_variance": ext_variance.run,
+    "ext_write_combining": ext_write_combining.run,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--exp", action="append", choices=sorted(EXPERIMENTS),
+        help="experiment to run (repeatable)",
+    )
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument("--scale", choices=SCALES, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--save", action="store_true",
+        help="write JSON results to benchmarks/results/",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = list(EXPERIMENTS) if args.all else (args.exp or [])
+    if not names:
+        parser.error("choose experiments with --exp/--all (or use --list)")
+
+    for name in names:
+        start = time.perf_counter()
+        table = EXPERIMENTS[name](scale=args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - start
+        print(table.to_text())
+        print(f"[{name} finished in {elapsed:.1f}s]")
+        print()
+        if args.save:
+            path = table.save()
+            print(f"saved {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""External-memory sorting with approx-refine run formation.
+
+The paper's warm-up stage notes (Section 4.1): "If the data is initially in
+the hard disk, we need to adopt more advanced external memory sorting
+algorithms, for which the proposed approx-refine scheme can be used in
+their in-memory sorting steps."  This package builds that setting: a
+simulated block storage device, an external merge sort whose run formation
+sorts each memory-load of records through approx-refine, and accounting
+that separates disk I/O (identical between plans) from memory writes
+(where the hybrid saving lives).
+"""
+
+from .external_sort import ExternalSortResult, external_merge_sort
+from .storage import BlockDevice, IOStats, StoredFile
+
+__all__ = [
+    "BlockDevice",
+    "ExternalSortResult",
+    "IOStats",
+    "StoredFile",
+    "external_merge_sort",
+]

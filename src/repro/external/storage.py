@@ -1,0 +1,129 @@
+"""A simulated block storage device.
+
+Pages hold fixed-size batches of ``<key, record-ID>`` pairs (with the
+paper's 4KB pages and 8-byte records: 512 records per page).  The device
+counts page reads/writes and models their latency so external-sort plans
+can demonstrate that their I/O schedules are identical while their memory
+traffic differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+#: Records per 4KB page: 8 bytes per <key, record-ID> pair.
+DEFAULT_RECORDS_PER_PAGE = 512
+
+#: Nominal SSD-class page latencies (ns).
+PAGE_READ_LATENCY_NS = 60_000.0
+PAGE_WRITE_LATENCY_NS = 90_000.0
+
+#: One stored record: (key, record_id).
+Record = tuple[int, int]
+
+
+@dataclass
+class IOStats:
+    """Page-level I/O counters."""
+
+    page_reads: int = 0
+    page_writes: int = 0
+
+    @property
+    def total_pages(self) -> int:
+        return self.page_reads + self.page_writes
+
+    @property
+    def io_latency_ns(self) -> float:
+        return (
+            self.page_reads * PAGE_READ_LATENCY_NS
+            + self.page_writes * PAGE_WRITE_LATENCY_NS
+        )
+
+
+class StoredFile:
+    """A named sequence of pages on a :class:`BlockDevice`."""
+
+    def __init__(self, device: "BlockDevice", name: str) -> None:
+        self.device = device
+        self.name = name
+        self._pages: list[list[Record]] = []
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._pages)
+
+    @property
+    def num_records(self) -> int:
+        return sum(len(page) for page in self._pages)
+
+    def append_page(self, records: list[Record]) -> None:
+        """Write one page (accounted)."""
+        if not records:
+            return
+        if len(records) > self.device.records_per_page:
+            raise ValueError(
+                f"page of {len(records)} records exceeds capacity"
+                f" {self.device.records_per_page}"
+            )
+        self.device.stats.page_writes += 1
+        self._pages.append(list(records))
+
+    def read_page(self, index: int) -> list[Record]:
+        """Read one page (accounted)."""
+        self.device.stats.page_reads += 1
+        return list(self._pages[index])
+
+    def scan(self) -> Iterator[Record]:
+        """Sequentially read every page (accounted per page)."""
+        for index in range(self.num_pages):
+            yield from self.read_page(index)
+
+    def peek_all(self) -> list[Record]:
+        """Unaccounted copy of all records — for assertions only."""
+        return [record for page in self._pages for record in page]
+
+
+class BlockDevice:
+    """A collection of named files with shared I/O accounting."""
+
+    def __init__(
+        self, records_per_page: int = DEFAULT_RECORDS_PER_PAGE
+    ) -> None:
+        if records_per_page <= 0:
+            raise ValueError("records_per_page must be positive")
+        self.records_per_page = records_per_page
+        self.stats = IOStats()
+        self._files: dict[str, StoredFile] = {}
+
+    def create(self, name: str) -> StoredFile:
+        """Create (or truncate) a file."""
+        stored = StoredFile(self, name)
+        self._files[name] = stored
+        return stored
+
+    def open(self, name: str) -> StoredFile:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise FileNotFoundError(f"no such file on device: {name!r}") from None
+
+    def delete(self, name: str) -> None:
+        self._files.pop(name, None)
+
+    def write_records(self, name: str, records: Iterable[Record]) -> StoredFile:
+        """Create a file and fill it page by page (accounted)."""
+        stored = self.create(name)
+        page: list[Record] = []
+        for record in records:
+            page.append(record)
+            if len(page) == self.records_per_page:
+                stored.append_page(page)
+                page = []
+        if page:
+            stored.append_page(page)
+        return stored
+
+    def list_files(self) -> list[str]:
+        return sorted(self._files)

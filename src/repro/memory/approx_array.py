@@ -1,0 +1,270 @@
+"""Instrumented array abstractions over precise and approximate memory.
+
+The paper's hybrid system (Figure 3) exposes approximate memory to programs
+through ``approx_alloc`` plus ``ld.approx`` / ``st.approx`` instructions.  The
+Python equivalent here is an array object whose element reads and writes are
+routed through the memory model and accounted in a :class:`MemoryStats`:
+
+* :class:`PreciseArray` — ordinary storage; every write costs one precise
+  write unit.
+* :class:`ApproxArray` — MLC-PCM approximate storage; writes may corrupt the
+  stored value (sampled from the compiled :class:`WordErrorModel`) and cost
+  ``p(t)`` precise-write units.
+
+Both classes share the small :class:`InstrumentedArray` interface that the
+sorting algorithms are written against, so any sorter runs unmodified on
+either memory — exactly the property the paper's approx-refine mechanism
+relies on ("the sorting algorithm we deploy in this stage is almost the same
+as the one in the precise memory, except for memory operations").
+
+Values are 32-bit unsigned integers (the paper's key type: sixteen
+concatenated 2-bit cells).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from .error_model import WordErrorModel
+from .stats import MemoryStats
+
+#: Exclusive upper bound of representable key values.
+WORD_LIMIT = 1 << 32
+
+#: Type of the optional trace hook: ``(op, region, index)`` with ``op`` one of
+#: ``"R"``/``"W"`` and ``region`` one of ``"precise"``/``"approx"``.
+TraceHook = Callable[[str, str, int], None]
+
+
+def _check_word(value: int) -> int:
+    """Validate that ``value`` fits the 32-bit key format."""
+    if not 0 <= value < WORD_LIMIT:
+        raise ValueError(f"key value {value!r} outside 32-bit unsigned range")
+    return value
+
+
+class InstrumentedArray:
+    """Common interface of the memory-backed arrays.
+
+    Subclasses implement :meth:`write`; reads, bulk helpers and unaccounted
+    inspection are shared.  ``region`` labels the trace events the array
+    emits.
+    """
+
+    region = "precise"
+
+    def __init__(
+        self,
+        data: Iterable[int],
+        stats: Optional[MemoryStats] = None,
+        trace: Optional[TraceHook] = None,
+        name: str = "",
+    ) -> None:
+        self._data = [_check_word(int(v)) for v in data]
+        self.stats = stats if stats is not None else MemoryStats()
+        self.trace = trace
+        self.name = name
+
+    # -- unaccounted access (for assertions, metrics, test oracles) ----- #
+
+    def peek(self, index: int) -> int:
+        """Read without accounting — for metrics and test oracles only."""
+        return self._data[index]
+
+    def to_list(self) -> list[int]:
+        """Unaccounted copy of the current contents."""
+        return list(self._data)
+
+    def to_numpy(self) -> np.ndarray:
+        """Unaccounted numpy copy of the current contents."""
+        return np.asarray(self._data, dtype=np.uint32)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    # -- accounted access ------------------------------------------------ #
+
+    def read(self, index: int) -> int:
+        """Accounted element read (``ld`` / ``ld.approx``)."""
+        raise NotImplementedError
+
+    def write(self, index: int, value: int) -> None:
+        """Accounted element write (``st`` / ``st.approx``)."""
+        raise NotImplementedError
+
+    def clone_empty(self, size: Optional[int] = None, name: str = "") -> "InstrumentedArray":
+        """Allocate a zeroed array of the same memory kind and accounting.
+
+        Scratch buffers of the sorting algorithms (mergesort's ping-pong
+        buffer, radixsort's bucket region) must live in the *same* memory as
+        the keys they shadow so their writes are costed and corrupted
+        identically; this factory gives sorters a way to allocate them
+        without knowing the concrete memory type.
+        """
+        raise NotImplementedError
+
+    def read_block(self, start: int, count: int) -> list[int]:
+        """Accounted sequential read of ``count`` elements from ``start``."""
+        return [self.read(i) for i in range(start, start + count)]
+
+    def write_block(self, start: int, values: Sequence[int]) -> None:
+        """Accounted sequential write of ``values`` starting at ``start``."""
+        for offset, value in enumerate(values):
+            self.write(start + offset, value)
+
+
+class PreciseArray(InstrumentedArray):
+    """Array in precise memory: reads/writes are exact, cost 1 unit each."""
+
+    region = "precise"
+
+    def clone_empty(self, size: Optional[int] = None, name: str = "") -> "PreciseArray":
+        n = len(self) if size is None else size
+        return PreciseArray(
+            [0] * n, stats=self.stats, trace=self.trace, name=name or self.name
+        )
+
+    def read_block(self, start: int, count: int) -> list[int]:
+        self.stats.record_precise_read(count)
+        if self.trace is not None:
+            for i in range(start, start + count):
+                self.trace("R", self.region, i)
+        return self._data[start : start + count]
+
+    def write_block(self, start: int, values: Sequence[int]) -> None:
+        checked = [_check_word(int(v)) for v in values]
+        self.stats.record_precise_write(len(checked))
+        if self.trace is not None:
+            for offset in range(len(checked)):
+                self.trace("W", self.region, start + offset)
+        self._data[start : start + len(checked)] = checked
+
+    def read(self, index: int) -> int:
+        self.stats.record_precise_read()
+        if self.trace is not None:
+            self.trace("R", self.region, index)
+        return self._data[index]
+
+    def write(self, index: int, value: int) -> None:
+        self.stats.record_precise_write()
+        if self.trace is not None:
+            self.trace("W", self.region, index)
+        self._data[index] = _check_word(value)
+
+
+class ApproxArray(InstrumentedArray):
+    """Array in approximate MLC-PCM memory.
+
+    Each write stores the *observed* digital value sampled once from the
+    error model (the value all later reads will recover — see DESIGN.md
+    section 3 on the error application point) and accrues a cost of
+    ``E[#P(value)] / #P_precise`` precise-write units.
+
+    Parameters
+    ----------
+    data:
+        Initial contents.  The initial placement is **not** accounted: the
+        paper's approx-preparation copy is an explicit, accounted step
+        (:meth:`load_from`), so construction itself is free.
+    model:
+        Compiled error model for the configured ``T``.
+    precise_iterations:
+        Average #P of the matching precise configuration (the denominator of
+        ``p(t)``); measured, not the paper's approximate constant 3.
+    seed:
+        Seed of the run-time corruption randomness.  A Python ``random.Random``
+        drives the scalar fast path; a numpy generator (independent stream)
+        drives vectorized block writes.
+    """
+
+    region = "approx"
+
+    def __init__(
+        self,
+        data: Iterable[int],
+        model: WordErrorModel,
+        precise_iterations: float,
+        stats: Optional[MemoryStats] = None,
+        seed: int = 0,
+        trace: Optional[TraceHook] = None,
+        name: str = "",
+    ) -> None:
+        super().__init__(data, stats=stats, trace=trace, name=name)
+        if precise_iterations <= 0:
+            raise ValueError("precise_iterations must be positive")
+        self.model = model
+        self.precise_iterations = precise_iterations
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self._np_rng = np.random.default_rng((seed, 0x5EED))
+
+    def clone_empty(self, size: Optional[int] = None, name: str = "") -> "ApproxArray":
+        n = len(self) if size is None else size
+        # Derive the scratch array's corruption stream from this array's so
+        # clones stay deterministic under the parent's seed yet independent.
+        return ApproxArray(
+            [0] * n,
+            model=self.model,
+            precise_iterations=self.precise_iterations,
+            stats=self.stats,
+            seed=self._rng.getrandbits(32),
+            trace=self.trace,
+            name=name or self.name,
+        )
+
+    def read(self, index: int) -> int:
+        self.stats.record_approx_read()
+        if self.trace is not None:
+            self.trace("R", self.region, index)
+        return self._data[index]
+
+    def read_block(self, start: int, count: int) -> list[int]:
+        self.stats.record_approx_read(count)
+        if self.trace is not None:
+            for i in range(start, start + count):
+                self.trace("R", self.region, i)
+        return self._data[start : start + count]
+
+    def write(self, index: int, value: int) -> None:
+        value = _check_word(value)
+        units = self.model.word_write_cost(value) / self.precise_iterations
+        stored = self.model.corrupt_word(value, self._rng)
+        self.stats.record_approx_write(units, corrupted=stored != value)
+        if self.trace is not None:
+            self.trace("W", self.region, index)
+        self._data[index] = stored
+
+    def write_block(self, start: int, values: Sequence[int]) -> None:
+        """Vectorized block write (numpy path; same distribution as scalar)."""
+        vals = np.asarray(values, dtype=np.int64)
+        if vals.size == 0:
+            return
+        if vals.min() < 0 or vals.max() >= WORD_LIMIT:
+            raise ValueError("key value outside 32-bit unsigned range")
+        vals32 = vals.astype(np.uint32)
+        units = float(
+            self.model.block_write_cost(vals32).sum() / self.precise_iterations
+        )
+        stored = self.model.corrupt_block(vals32, self._np_rng)
+        corrupted = int(np.count_nonzero(stored != vals32))
+        self.stats.record_approx_write_block(vals32.size, units, corrupted)
+        if self.trace is not None:
+            for offset in range(vals32.size):
+                self.trace("W", self.region, start + offset)
+        self._data[start : start + vals32.size] = [int(v) for v in stored]
+
+    def load_from(self, source: InstrumentedArray) -> None:
+        """Approx-preparation copy: read ``source``, write every element here.
+
+        This is the accounted ``Key0 -> Key~`` copy of the paper's
+        approx-preparation stage; some keys may become imprecise in transit.
+        """
+        if len(source) != len(self):
+            raise ValueError(
+                f"size mismatch: source {len(source)} vs destination {len(self)}"
+            )
+        values = [source.read(i) for i in range(len(source))]
+        self.write_block(0, values)

@@ -1,0 +1,108 @@
+"""Monte-Carlo characterization of the MLC cell — reproduces Figure 2.
+
+The paper characterizes a 4-level cell by writing random values (a random
+level to one cell; a random 32-bit number to sixteen concatenated cells) for
+100 million trials per ``T`` and reporting:
+
+* Figure 2(a): the average number of P&V iterations (``#P``) vs ``T``;
+* Figure 2(b): the error rate vs ``T`` for a single 2-bit cell and for a
+  32-bit word.
+
+:func:`characterize` runs the same procedure (vectorized; the trial count is
+a parameter since 100M pure-Python trials per point would be gratuitous) and
+returns one :class:`CharacterizationPoint` per ``T``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .config import CELLS_PER_WORD, MLCParams, PRECISE_T
+from .mlc import drift_read, pv_write
+
+
+@dataclass(frozen=True)
+class CharacterizationPoint:
+    """Measured cell behaviour at one value of ``T``.
+
+    Attributes
+    ----------
+    t:
+        Target-range half width.
+    avg_iterations:
+        Average #P per cell write (Figure 2a).
+    cell_error_rate:
+        Probability a single 2-bit cell write is misread (Figure 2b, "2-bit").
+    word_error_rate:
+        Probability a 32-bit word write is misread in at least one cell
+        (Figure 2b, "32-bit").
+    """
+
+    t: float
+    avg_iterations: float
+    cell_error_rate: float
+    word_error_rate: float
+
+
+def characterize_point(
+    params: MLCParams,
+    trials: int = 200_000,
+    seed: int = 0,
+) -> CharacterizationPoint:
+    """Monte-Carlo measurement of one configuration.
+
+    Writes ``trials`` uniformly random levels, reads them back through the
+    drift model, and reports iteration and error statistics.  The word error
+    rate is measured directly on words assembled from consecutive groups of
+    sixteen cells (not derived analytically from the cell rate), mirroring
+    the paper's two separate experiments.
+    """
+    rng = np.random.default_rng(seed)
+    # Round trials down to a whole number of words so the word-level
+    # statistic uses every sampled cell.
+    words = max(1, trials // CELLS_PER_WORD)
+    cells = words * CELLS_PER_WORD
+    levels = rng.integers(0, params.levels, size=cells)
+    analog, iterations = pv_write(levels, params, rng)
+    observed = drift_read(analog, params, rng)
+    cell_errors = observed != levels
+    word_errors = cell_errors.reshape(words, CELLS_PER_WORD).any(axis=1)
+    return CharacterizationPoint(
+        t=params.t,
+        avg_iterations=float(iterations.mean()),
+        cell_error_rate=float(cell_errors.mean()),
+        word_error_rate=float(word_errors.mean()),
+    )
+
+
+def characterize(
+    t_values: list[float],
+    base_params: MLCParams | None = None,
+    trials: int = 200_000,
+    seed: int = 0,
+) -> list[CharacterizationPoint]:
+    """Sweep ``T`` and characterize each point (the Figure 2 experiment)."""
+    base = base_params if base_params is not None else MLCParams()
+    return [
+        characterize_point(base.with_t(t), trials=trials, seed=seed)
+        for t in t_values
+    ]
+
+
+def p_ratio_curve(
+    points: list[CharacterizationPoint],
+    precise_t: float = PRECISE_T,
+) -> dict[float, float]:
+    """Compute the paper's ``p(t)`` from a characterization sweep.
+
+    ``p(t) = avg #P at T=t / avg #P at T=precise_t``; the sweep must contain
+    the precise configuration.
+    """
+    reference = next((p for p in points if abs(p.t - precise_t) < 1e-9), None)
+    if reference is None:
+        raise ValueError(
+            f"sweep does not include the precise configuration T={precise_t}"
+        )
+    return {p.t: p.avg_iterations / reference.avg_iterations for p in points}

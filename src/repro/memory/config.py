@@ -1,0 +1,196 @@
+"""Configuration objects for the approximate-memory models.
+
+These dataclasses mirror Table 2 of the paper ("Parameters for precise and
+approximate MLC", inherited from Sampson et al. [54]) and the spintronic
+configuration points of Appendix A (Ranjan et al. [51]).
+
+Two deliberate calibration knobs deviate from a literal reading of Table 2
+(see DESIGN.md section 3 for the full justification):
+
+``step_noise``
+    Whether the second argument of the P&V step distribution
+    ``N(vd - v, |beta * (vd - v)|)`` is a variance (paper's ``N(mu, sigma^2)``
+    convention; reproduces the anchor avg ``#P = 2.98`` at ``T = 0.025``) or a
+    standard deviation.
+
+``drift_scale``
+    Scale applied to the drift term ``N(mu, sigma^2) * log10(tw)``.  Taken
+    literally the Table-2 numbers give a mean drift 2.7x the inter-level
+    distance, contradicting the paper's stated precise raw bit error rate of
+    1e-8; a 0.1 scale restores the paper's observed error regimes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+#: Half-width of a level's value band in a 4-level cell: levels sit at
+#: (2i + 1) / (2n) for n = 4, so bands are 1/(2n) = 0.125 wide on each side.
+MAX_TARGET_HALF_WIDTH = 0.125
+
+#: Paper's precise configuration ("T=0.025: almost precise, #P = 2.98").
+PRECISE_T = 0.025
+
+#: Write latency of a *precise* MLC PCM word write (Table 1: "data write: 1us").
+PRECISE_WRITE_LATENCY_NS = 1000.0
+
+#: Read latency of an MLC PCM word (Table 1: "data read: 50ns").
+READ_LATENCY_NS = 50.0
+
+#: Bits stored per 2-bit MLC cell; a 32-bit integer spans 16 cells.
+BITS_PER_CELL = 2
+CELLS_PER_WORD = 16
+WORD_BITS = BITS_PER_CELL * CELLS_PER_WORD
+
+
+@dataclass(frozen=True)
+class MLCParams:
+    """Parameters of the multi-level PCM cell model (paper Table 2).
+
+    Attributes
+    ----------
+    levels:
+        Number of discrete levels per cell (``L = 4`` -> 2 bits/cell).
+    read_mu, read_sigma:
+        Mean and standard deviation of the per-decade drift/read fluctuation
+        ``N(mu, sigma^2)``.
+    elapsed_time_s:
+        Time elapsed between write and read, ``tw`` (drift multiplier is
+        ``log10(tw)``).
+    beta:
+        Write fluctuation constant of a single program-and-verify step.
+    t:
+        Target-range half width ``T``; ``0.025`` is the precise
+        configuration, values up to ``0.125`` shrink the guard band.
+    drift_scale:
+        Calibration scale on the drift term (see module docstring).
+    step_noise:
+        ``"variance"`` (default) or ``"std"`` — interpretation of
+        ``|beta * (vd - v)|`` in the P&V step distribution.
+    max_pv_iterations:
+        Safety bound on the P&V loop (the physical process converges long
+        before this; the bound keeps the simulation total).
+    """
+
+    levels: int = 4
+    read_mu: float = 0.067
+    read_sigma: float = 0.027
+    elapsed_time_s: float = 1e5
+    beta: float = 0.035
+    t: float = PRECISE_T
+    drift_scale: float = 0.1
+    step_noise: str = "variance"
+    max_pv_iterations: int = 64
+
+    def __post_init__(self) -> None:
+        if self.levels < 2:
+            raise ValueError(f"levels must be >= 2, got {self.levels}")
+        # The target range cannot exceed a level's band: 1/(2 * levels)
+        # (0.125 for the paper's 4-level cell, 0.25 for SLC, 0.0625 for an
+        # 8-level cell).
+        max_t = 1.0 / (2 * self.levels)
+        if not 0.0 < self.t < max_t + 1e-12:
+            raise ValueError(
+                f"target half-width T must lie in (0, {max_t}] for a"
+                f" {self.levels}-level cell, got {self.t}"
+            )
+        if self.step_noise not in ("variance", "std"):
+            raise ValueError(
+                f"step_noise must be 'variance' or 'std', got {self.step_noise!r}"
+            )
+        if self.beta <= 0:
+            raise ValueError(f"beta must be positive, got {self.beta}")
+
+    @property
+    def bits_per_cell(self) -> int:
+        """Number of digital bits encoded by one cell."""
+        return int(round(math.log2(self.levels)))
+
+    @property
+    def level_values(self) -> tuple[float, ...]:
+        """Analog centre of each level: (2i + 1) / (2n), i = 0..n-1."""
+        n = self.levels
+        return tuple((2 * i + 1) / (2 * n) for i in range(n))
+
+    @property
+    def band_half_width(self) -> float:
+        """Half-width of a level's quantization band, 1/(2n)."""
+        return 1.0 / (2 * self.levels)
+
+    @property
+    def guard_band(self) -> float:
+        """Width of the guard band separating adjacent target ranges."""
+        return 2 * (self.band_half_width - self.t)
+
+    @property
+    def drift_decades(self) -> float:
+        """Drift multiplier ``log10(tw)``."""
+        return math.log10(self.elapsed_time_s)
+
+    def with_t(self, t: float) -> "MLCParams":
+        """Return a copy of these parameters with a different ``T``."""
+        return MLCParams(
+            levels=self.levels,
+            read_mu=self.read_mu,
+            read_sigma=self.read_sigma,
+            elapsed_time_s=self.elapsed_time_s,
+            beta=self.beta,
+            t=t,
+            drift_scale=self.drift_scale,
+            step_noise=self.step_noise,
+            max_pv_iterations=self.max_pv_iterations,
+        )
+
+
+@dataclass(frozen=True)
+class SpintronicParams:
+    """One configuration point of the approximate spintronic model.
+
+    Appendix A explores four points trading write energy for per-bit write
+    error probability.  A precise write costs 1.0 (normalized energy); an
+    approximate write costs ``1 - energy_saving``.
+    """
+
+    energy_saving: float
+    bit_error_rate: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.energy_saving < 1.0:
+            raise ValueError(
+                f"energy_saving must be in [0, 1), got {self.energy_saving}"
+            )
+        if not 0.0 <= self.bit_error_rate <= 1.0:
+            raise ValueError(
+                f"bit_error_rate must be in [0, 1], got {self.bit_error_rate}"
+            )
+
+    @property
+    def write_cost(self) -> float:
+        """Normalized energy of one approximate write (precise write = 1)."""
+        return 1.0 - self.energy_saving
+
+
+#: The four Appendix-A configurations: energy saving per approximate write
+#: and the corresponding per-bit write error probability.
+SPINTRONIC_CONFIGS: tuple[SpintronicParams, ...] = (
+    SpintronicParams(energy_saving=0.05, bit_error_rate=1e-7),
+    SpintronicParams(energy_saving=0.20, bit_error_rate=1e-6),
+    SpintronicParams(energy_saving=0.33, bit_error_rate=1e-5),
+    SpintronicParams(energy_saving=0.50, bit_error_rate=1e-4),
+)
+
+
+#: The paper's Fig 4 / Fig 9 sweep: T from 0.025 to 0.1 at 0.005 intervals.
+def t_sweep(start: float = 0.025, stop: float = 0.1, step: float = 0.005) -> list[float]:
+    """Return the T values of the paper's sweeps (inclusive of both ends)."""
+    values = []
+    k = 0
+    while True:
+        t = start + k * step
+        if t > stop + 1e-9:
+            break
+        values.append(round(t, 6))
+        k += 1
+    return values

@@ -1,0 +1,113 @@
+"""Factories binding a memory technology to the approx-refine mechanism.
+
+The approx-refine mechanism is technology-agnostic: it needs "an array in
+approximate memory" and a relative write cost, nothing more.  A factory
+packages one approximate-memory technology (MLC PCM with a given ``T``;
+spintronic with a given energy/error point) behind a uniform interface so
+the core mechanism and the experiment harness can swap technologies — the
+exact generality claim of the paper's Appendix A.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol
+
+from .approx_array import ApproxArray, InstrumentedArray
+from .config import MLCParams, SpintronicParams
+from .error_model import DEFAULT_FIT_SAMPLES, get_model, precise_reference_model
+from .spintronic import SpintronicArray, SpintronicErrorModel
+from .stats import MemoryStats
+
+
+class ApproxMemoryFactory(Protocol):
+    """Allocates approximate-memory arrays of one technology/configuration."""
+
+    def make_array(
+        self,
+        data: Iterable[int],
+        stats: "MemoryStats | None" = None,
+        seed: int = 0,
+    ) -> InstrumentedArray:
+        """Allocate an approximate array holding ``data`` (unaccounted).
+
+        A fresh :class:`MemoryStats` is attached when none is supplied.
+        """
+        ...
+
+    @property
+    def description(self) -> str:
+        """Human-readable configuration label for reports."""
+        ...
+
+
+class PCMMemoryFactory:
+    """MLC-PCM approximate memory at target half-width ``T``.
+
+    Compiles (and caches) the error model for ``params`` plus the matching
+    precise reference model, whose measured average #P normalizes write
+    costs into precise-write units (the paper's ``p(t)``).
+    """
+
+    def __init__(
+        self,
+        params: MLCParams,
+        fit_samples: int = DEFAULT_FIT_SAMPLES,
+        fit_seed: int = 0,
+    ) -> None:
+        self.params = params
+        self.model = get_model(params, fit_samples, fit_seed)
+        self._precise = precise_reference_model(params, fit_samples, fit_seed)
+        self.precise_iterations = self._precise.avg_word_iterations
+
+    @property
+    def p_ratio(self) -> float:
+        """Measured ``p(t)`` of this configuration."""
+        return self.model.p_ratio(self._precise)
+
+    @property
+    def description(self) -> str:
+        return f"MLC PCM T={self.params.t} (p(t)={self.p_ratio:.3f})"
+
+    def make_array(
+        self,
+        data: Iterable[int],
+        stats: "MemoryStats | None" = None,
+        seed: int = 0,
+    ) -> ApproxArray:
+        if stats is None:
+            stats = MemoryStats()
+        return ApproxArray(
+            data,
+            model=self.model,
+            precise_iterations=self.precise_iterations,
+            stats=stats,
+            seed=seed,
+            name="approx-pcm",
+        )
+
+
+class SpintronicMemoryFactory:
+    """Approximate spintronic memory at one energy/error configuration."""
+
+    def __init__(self, params: SpintronicParams) -> None:
+        self.params = params
+        self.model = SpintronicErrorModel(params)
+
+    @property
+    def description(self) -> str:
+        return (
+            f"spintronic saving={self.params.energy_saving:.0%}"
+            f" BER={self.params.bit_error_rate:g}"
+        )
+
+    def make_array(
+        self,
+        data: Iterable[int],
+        stats: "MemoryStats | None" = None,
+        seed: int = 0,
+    ) -> SpintronicArray:
+        if stats is None:
+            stats = MemoryStats()
+        return SpintronicArray(
+            data, model=self.model, stats=stats, seed=seed, name="approx-stt"
+        )

@@ -1,0 +1,120 @@
+"""Analog multi-level-cell model: P&V WRITE, drift READ, quantization.
+
+This module is the lowest layer of the reproduction: a faithful, vectorized
+implementation of the cell model in Section 2 of the paper (adopted from
+Sampson et al. [54]).
+
+WRITE
+    Each write resets the analog value to zero and iteratively performs
+    program-and-verify (P&V) steps ``v <- v + N(vd - v, |beta * (vd - v)|)``
+    until ``v`` lands in the target range ``[vd - T, vd + T]``.  The number of
+    iterations ``#P`` is inversely proportional to write performance.
+
+READ
+    ``READ(v) = v + N(mu, sigma^2) * log10(tw)`` — material variation plus
+    unidirectional resistance drift (Yeo et al. [67]); the recovered analog
+    value is quantized back to a digital level.
+
+All functions are vectorized over many cells at once so the Monte-Carlo
+characterization (Fig 2) and the per-``T`` error-model compilation stay fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .config import MLCParams
+
+
+def level_to_analog(levels: np.ndarray, params: MLCParams) -> np.ndarray:
+    """Map digital levels ``0..n-1`` to their analog centres ``(2i+1)/(2n)``."""
+    n = params.levels
+    return (2 * np.asarray(levels, dtype=np.float64) + 1) / (2 * n)
+
+
+def quantize(values: np.ndarray, params: MLCParams) -> np.ndarray:
+    """Quantize analog values in [0, 1] back to digital levels.
+
+    Band boundaries sit halfway between adjacent level centres; values outside
+    [0, 1] clamp to the extreme levels (the physical read circuit saturates).
+    """
+    n = params.levels
+    levels = np.floor(np.asarray(values, dtype=np.float64) * n).astype(np.int64)
+    return np.clip(levels, 0, n - 1)
+
+
+def pv_write(
+    target_levels: np.ndarray,
+    params: MLCParams,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Simulate iterative program-and-verify writes for a batch of cells.
+
+    Parameters
+    ----------
+    target_levels:
+        Integer array of digital levels to program.
+    params:
+        Cell model parameters (``T``, ``beta``, noise interpretation).
+    rng:
+        Source of randomness.
+
+    Returns
+    -------
+    (analog_values, iterations):
+        The final analog value of each cell (guaranteed inside the target
+        range unless the safety bound was hit) and the number of P&V
+        iterations each write needed.
+    """
+    targets = level_to_analog(np.asarray(target_levels), params)
+    v = np.zeros_like(targets)
+    iterations = np.zeros(targets.shape, dtype=np.int64)
+    pending = np.ones(targets.shape, dtype=bool)
+    t = params.t
+
+    for _ in range(params.max_pv_iterations):
+        if not pending.any():
+            break
+        distance = targets[pending] - v[pending]
+        if params.step_noise == "variance":
+            sigma = np.sqrt(params.beta * np.abs(distance))
+        else:
+            sigma = params.beta * np.abs(distance)
+        step = rng.normal(loc=distance, scale=sigma)
+        v[pending] += step
+        iterations[pending] += 1
+        pending = np.abs(targets - v) > t
+    return v, iterations
+
+
+def drift_read(
+    analog_values: np.ndarray,
+    params: MLCParams,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Apply read fluctuation and unidirectional drift; return digital levels.
+
+    The drift term is ``N(mu, sigma^2) * drift_scale * log10(tw)``, clipped at
+    zero from below: resistance drift only moves the stored value upward
+    (toward higher levels), so a negative sample contributes no shift.
+    """
+    values = np.asarray(analog_values, dtype=np.float64)
+    decades = params.drift_decades * params.drift_scale
+    shift = rng.normal(params.read_mu, params.read_sigma, size=values.shape)
+    shift = np.maximum(shift, 0.0) * decades
+    return quantize(values + shift, params)
+
+
+def write_then_read(
+    target_levels: np.ndarray,
+    params: MLCParams,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Full write+read round trip for a batch of cells.
+
+    Returns ``(observed_levels, iterations)``: the digital level a later read
+    recovers (possibly in error) and the P&V iteration count of the write.
+    """
+    analog, iterations = pv_write(target_levels, params, rng)
+    observed = drift_read(analog, params, rng)
+    return observed, iterations

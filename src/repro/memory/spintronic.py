@@ -1,0 +1,175 @@
+"""Approximate spintronic memory model (paper Appendix A, Ranjan et al. [51]).
+
+Spintronic (STT-MRAM-like) memories trade write *energy* for write *error
+probability*: lowering the programming voltage/current of the magnetic tunnel
+junction saves energy but leaves each bit a small probability of not being
+switched.  The paper evaluates four configuration points::
+
+    energy saving per write   5%     20%    33%    50%
+    write error prob per bit  1e-7   1e-6   1e-5   1e-4
+
+Reads are assumed precise (write energy dominates by an order of magnitude).
+
+The unit of account is energy: a precise write costs 1.0, an approximate
+write costs ``1 - energy_saving``.  :class:`SpintronicArray` plugs into the
+same :class:`~repro.memory.approx_array.InstrumentedArray` interface as the
+PCM model, so every sorting algorithm and the whole approx-refine mechanism
+run on it unchanged — the property Appendix A uses to claim generality.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from .approx_array import InstrumentedArray, TraceHook, WORD_LIMIT, _check_word
+from .config import SpintronicParams, WORD_BITS
+from .stats import MemoryStats
+
+
+class SpintronicErrorModel:
+    """Per-bit independent write-flip model with energy accounting."""
+
+    def __init__(self, params: SpintronicParams) -> None:
+        self.params = params
+        q = params.bit_error_rate
+        self._q = q
+        #: Probability a whole 32-bit word stores without any flipped bit.
+        self.word_no_error_probability = (1.0 - q) ** WORD_BITS
+
+    @property
+    def write_cost(self) -> float:
+        """Energy of one approximate write, in precise-write units."""
+        return self.params.write_cost
+
+    @property
+    def word_error_rate(self) -> float:
+        """Probability at least one bit of a word write is flipped."""
+        return 1.0 - self.word_no_error_probability
+
+    def corrupt_word(self, value: int, rng: random.Random) -> int:
+        """Sample the stored value of one word write (scalar fast path)."""
+        u = rng.random()
+        if u < self.word_no_error_probability:
+            return value
+        # Rare branch: resample each bit exactly, conditioned on >= 1 flip
+        # via the first-flip-index decomposition (as in the PCM model).
+        q = self._q
+        # u is uniform on [p_noerr, 1); shift it to a uniform on [0, p_any)
+        # and use it to pick the first flipped bit from its exact law
+        # P(first flip at i) = (1-q)^i * q.
+        target = u - self.word_no_error_probability
+        acc = 0.0
+        prefix_ok = 1.0
+        first = WORD_BITS - 1
+        for i in range(WORD_BITS):
+            acc += prefix_ok * q
+            if target < acc:
+                first = i
+                break
+            prefix_ok *= 1.0 - q
+        out = value ^ (1 << first)
+        for i in range(first + 1, WORD_BITS):
+            if rng.random() < q:
+                out ^= 1 << i
+        return out
+
+    def corrupt_block(
+        self, values: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Vectorized corruption of an array of 32-bit words."""
+        vals = np.asarray(values, dtype=np.uint32)
+        out = vals.copy()
+        # Expected flips are q * 32 * n; sample flip positions sparsely.
+        n_bits = vals.size * WORD_BITS
+        n_flips = rng.binomial(n_bits, self._q)
+        if n_flips == 0:
+            return out
+        positions = rng.choice(n_bits, size=n_flips, replace=False)
+        for pos in positions:
+            word = int(pos) // WORD_BITS
+            bit = int(pos) % WORD_BITS
+            out[word] ^= np.uint32(1 << bit)
+        return out
+
+
+class SpintronicArray(InstrumentedArray):
+    """Array in approximate spintronic memory (energy-accounted writes)."""
+
+    region = "approx"
+
+    def __init__(
+        self,
+        data: Iterable[int],
+        model: SpintronicErrorModel,
+        stats: Optional[MemoryStats] = None,
+        seed: int = 0,
+        trace: Optional[TraceHook] = None,
+        name: str = "",
+    ) -> None:
+        super().__init__(data, stats=stats, trace=trace, name=name)
+        self.model = model
+        self._rng = random.Random(seed)
+        self._np_rng = np.random.default_rng((seed, 0x5E17))
+
+    def clone_empty(self, size: Optional[int] = None, name: str = "") -> "SpintronicArray":
+        n = len(self) if size is None else size
+        return SpintronicArray(
+            [0] * n,
+            model=self.model,
+            stats=self.stats,
+            seed=self._rng.getrandbits(32),
+            trace=self.trace,
+            name=name or self.name,
+        )
+
+    def read(self, index: int) -> int:
+        self.stats.record_approx_read()
+        if self.trace is not None:
+            self.trace("R", self.region, index)
+        return self._data[index]
+
+    def read_block(self, start: int, count: int) -> list[int]:
+        self.stats.record_approx_read(count)
+        if self.trace is not None:
+            for i in range(start, start + count):
+                self.trace("R", self.region, i)
+        return self._data[start : start + count]
+
+    def write(self, index: int, value: int) -> None:
+        value = _check_word(value)
+        stored = self.model.corrupt_word(value, self._rng)
+        self.stats.record_approx_write(
+            self.model.write_cost, corrupted=stored != value
+        )
+        if self.trace is not None:
+            self.trace("W", self.region, index)
+        self._data[index] = stored
+
+    def write_block(self, start: int, values: Sequence[int]) -> None:
+        vals = np.asarray(values, dtype=np.int64)
+        if vals.size == 0:
+            return
+        if vals.min() < 0 or vals.max() >= WORD_LIMIT:
+            raise ValueError("key value outside 32-bit unsigned range")
+        vals32 = vals.astype(np.uint32)
+        stored = self.model.corrupt_block(vals32, self._np_rng)
+        corrupted = int(np.count_nonzero(stored != vals32))
+        self.stats.record_approx_write_block(
+            vals32.size, self.model.write_cost * vals32.size, corrupted
+        )
+        if self.trace is not None:
+            for offset in range(vals32.size):
+                self.trace("W", self.region, start + offset)
+        self._data[start : start + vals32.size] = [int(v) for v in stored]
+
+    def load_from(self, source: InstrumentedArray) -> None:
+        """Accounted approx-preparation copy from a precise array."""
+        if len(source) != len(self):
+            raise ValueError(
+                f"size mismatch: source {len(source)} vs destination {len(self)}"
+            )
+        values = [source.read(i) for i in range(len(source))]
+        self.write_block(0, values)

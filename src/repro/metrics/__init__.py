@@ -1,0 +1,27 @@
+"""Sortedness and imprecision measures (paper Section 3.3)."""
+
+from .sortedness import (
+    dis,
+    error_rate_multiset,
+    exc,
+    ham,
+    inversions,
+    is_sorted,
+    longest_nondecreasing_subsequence_length,
+    rem,
+    rem_ratio,
+    runs,
+)
+
+__all__ = [
+    "dis",
+    "error_rate_multiset",
+    "exc",
+    "ham",
+    "inversions",
+    "is_sorted",
+    "longest_nondecreasing_subsequence_length",
+    "rem",
+    "rem_ratio",
+    "runs",
+]

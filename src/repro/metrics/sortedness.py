@@ -1,0 +1,188 @@
+"""Measures of sortedness and imprecision.
+
+The paper's primary measure is *Rem* (Section 3.3)::
+
+    Rem(X) = n - max{k | X has an ascending subsequence of length k}
+
+i.e. the number of elements that must be removed to leave a sorted sequence.
+Since the target order is non-decreasing (duplicates are legal keys), the
+"ascending subsequence" is the longest *non-decreasing* subsequence, computed
+exactly here by patience sorting in O(n log n).
+
+Also provided, for the broader sortedness literature the paper cites
+(Estivill-Castro & Wood [20]): *Inv* (number of inverted pairs) and *Runs*
+(number of maximal ascending runs), plus the paper's error-rate measure (the
+proportion of elements whose values deviate from the original input).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+
+def longest_nondecreasing_subsequence_length(values: Sequence[int]) -> int:
+    """Length of the longest non-decreasing subsequence (patience sorting).
+
+    ``tails[k]`` holds the smallest possible tail of a non-decreasing
+    subsequence of length ``k + 1``; each element replaces the first tail
+    strictly greater than it (``bisect_right`` keeps duplicates admissible).
+    """
+    tails: list[int] = []
+    for value in values:
+        pos = bisect_right(tails, value)
+        if pos == len(tails):
+            tails.append(value)
+        else:
+            tails[pos] = value
+    return len(tails)
+
+
+def rem(values: Sequence[int]) -> int:
+    """Rem(X): elements to remove so the remainder is sorted (exact)."""
+    n = len(values)
+    if n == 0:
+        return 0
+    return n - longest_nondecreasing_subsequence_length(values)
+
+
+def rem_ratio(values: Sequence[int]) -> float:
+    """Rem(X) / n; 0.0 for an empty sequence."""
+    n = len(values)
+    if n == 0:
+        return 0.0
+    return rem(values) / n
+
+
+def inversions(values: Sequence[int]) -> int:
+    """Inv(X): number of pairs ``i < j`` with ``X[i] > X[j]`` (exact).
+
+    Computed by counting the swaps a stable mergesort would perform, using
+    numpy's stable argsort plus a Fenwick tree over ranks: O(n log n).
+    """
+    n = len(values)
+    if n < 2:
+        return 0
+    arr = np.asarray(values)
+    # Ranks with ties broken by position keep the count exact for duplicates:
+    # equal elements are not inversions.
+    order = np.argsort(arr, kind="stable")
+    ranks = np.empty(n, dtype=np.int64)
+    ranks[order] = np.arange(n)
+    tree = [0] * (n + 1)
+
+    def update(i: int) -> None:
+        i += 1
+        while i <= n:
+            tree[i] += 1
+            i += i & (-i)
+
+    def query(i: int) -> int:
+        # Number of previously-seen ranks <= i.
+        i += 1
+        total = 0
+        while i > 0:
+            total += tree[i]
+            i -= i & (-i)
+        return total
+
+    count = 0
+    for seen, r in enumerate(ranks.tolist()):
+        count += seen - query(r)
+        update(r)
+    return count
+
+
+def runs(values: Sequence[int]) -> int:
+    """Runs(X): number of maximal non-decreasing runs (1 for sorted input)."""
+    n = len(values)
+    if n == 0:
+        return 0
+    count = 1
+    for i in range(1, n):
+        if values[i] < values[i - 1]:
+            count += 1
+    return count
+
+
+def is_sorted(values: Sequence[int]) -> bool:
+    """True iff the sequence is non-decreasing."""
+    return all(values[i] <= values[i + 1] for i in range(len(values) - 1))
+
+
+def _stable_sort_permutation(values: Sequence[int]) -> np.ndarray:
+    """``perm[k]`` = index in X of the k-th element of stable-sorted X."""
+    return np.argsort(np.asarray(values), kind="stable")
+
+
+def dis(values: Sequence[int]) -> int:
+    """Dis(X): the largest distance an element must travel to its sorted
+    position (Estivill-Castro & Wood's displacement measure).
+
+    0 for sorted input; up to ``n - 1`` for reversed input.
+    """
+    n = len(values)
+    if n < 2:
+        return 0
+    order = _stable_sort_permutation(values)
+    positions = np.arange(n)
+    return int(np.abs(order - positions).max())
+
+
+def exc(values: Sequence[int]) -> int:
+    """Exc(X): minimum number of exchanges (swaps) that sort X.
+
+    Equal to ``n`` minus the number of cycles of the sorting permutation;
+    0 for sorted input, ``floor(n/2)`` for reversed input.
+    """
+    n = len(values)
+    if n < 2:
+        return 0
+    order = _stable_sort_permutation(values).tolist()
+    seen = [False] * n
+    cycles = 0
+    for start in range(n):
+        if seen[start]:
+            continue
+        cycles += 1
+        node = start
+        while not seen[node]:
+            seen[node] = True
+            node = order[node]
+    return n - cycles
+
+
+def ham(values: Sequence[int]) -> int:
+    """Ham(X): the number of elements not already in their sorted position
+    (with ties resolved stably)."""
+    n = len(values)
+    if n < 2:
+        return 0
+    order = _stable_sort_permutation(values)
+    return int(np.count_nonzero(order != np.arange(n)))
+
+
+def error_rate_multiset(original: Sequence[int], final: Sequence[int]) -> float:
+    """Proportion of elements whose values deviate from the original input.
+
+    The paper's Step-1 study has no identity payload, so "elements whose
+    values deviate from their original values" is measured on multisets: the
+    fraction of the final sequence not matched by the original multiset.
+    Sequences of different lengths are a usage error.
+    """
+    if len(original) != len(final):
+        raise ValueError(
+            f"length mismatch: original {len(original)} vs final {len(final)}"
+        )
+    if not original:
+        return 0.0
+    remaining = Counter(original)
+    matched = 0
+    for value in final:
+        if remaining[value] > 0:
+            remaining[value] -= 1
+            matched += 1
+    return 1.0 - matched / len(final)

@@ -1,0 +1,47 @@
+"""Trace-driven detailed PCM memory simulator (paper Table 1)."""
+
+from .bank import BankStats, PCMBank
+from .cache import CacheHierarchy, SetAssociativeCache
+from .config import (
+    CacheConfig,
+    GB,
+    KB,
+    MB,
+    PCMConfig,
+    SimulatorConfig,
+    TABLE1_CONFIG,
+)
+from .controller import MemoryController
+from .simulator import PCMSimulator, TimingReport, simulate_trace
+from .trace import (
+    ELEMENT_BYTES,
+    TraceEvent,
+    TraceRecorder,
+    interleave,
+    sequential_write_trace,
+    strided_trace,
+)
+
+__all__ = [
+    "BankStats",
+    "CacheConfig",
+    "CacheHierarchy",
+    "ELEMENT_BYTES",
+    "GB",
+    "KB",
+    "MB",
+    "MemoryController",
+    "PCMBank",
+    "PCMConfig",
+    "PCMSimulator",
+    "SetAssociativeCache",
+    "SimulatorConfig",
+    "TABLE1_CONFIG",
+    "TimingReport",
+    "TraceEvent",
+    "TraceRecorder",
+    "interleave",
+    "sequential_write_trace",
+    "simulate_trace",
+    "strided_trace",
+]

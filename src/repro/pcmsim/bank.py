@@ -1,0 +1,108 @@
+"""A PCM bank with posted writes, a bounded write queue, and read priority.
+
+Timing model (classic posted-write memory controller):
+
+* The bank drains its write queue in the background whenever it is idle —
+  each write occupies the bank for its device write latency.
+* A read preempts the *queue* (read-priority scheduling): the bank finishes
+  the operation currently in flight, then services the read before any
+  further queued writes.
+* A write is posted: it costs the CPU nothing unless the bank's write queue
+  is full (32 entries, Table 1), in which case the CPU stalls until a slot
+  frees.
+
+The bank tracks total busy time and stall statistics for the report.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass
+class BankStats:
+    """Per-bank counters for the timing report."""
+
+    reads: int = 0
+    writes: int = 0
+    read_wait_ns: float = 0.0
+    write_stall_ns: float = 0.0
+    busy_ns: float = 0.0
+    max_write_queue: int = 0
+
+
+class PCMBank:
+    """One bank: write queue + in-order device, read priority."""
+
+    def __init__(self, write_queue_capacity: int, index: int = 0) -> None:
+        if write_queue_capacity <= 0:
+            raise ValueError("write queue capacity must be positive")
+        self.capacity = write_queue_capacity
+        self.index = index
+        #: Latencies (ns) of queued, not-yet-started writes.
+        self._write_queue: deque[float] = deque()
+        #: Time at which the operation currently occupying the bank ends.
+        self._busy_until = 0.0
+        self.stats = BankStats()
+
+    # ------------------------------------------------------------------ #
+
+    def _drain_writes(self, now: float) -> None:
+        """Start queued writes while the bank is idle before ``now``."""
+        while self._write_queue and self._busy_until < now:
+            latency = self._write_queue.popleft()
+            start = self._busy_until
+            self._busy_until = start + latency
+            self.stats.busy_ns += latency
+
+    def post_write(self, now: float, latency_ns: float) -> float:
+        """Enqueue a write at time ``now``; returns the CPU stall (ns).
+
+        Stalls only when the queue is full: the CPU waits until the bank
+        retires enough writes to free a slot.
+        """
+        self._drain_writes(now)
+        stall = 0.0
+        if len(self._write_queue) >= self.capacity:
+            # The bank retires one queued write per device-latency period
+            # starting from its current busy horizon; wait for the first.
+            while len(self._write_queue) >= self.capacity:
+                next_latency = self._write_queue.popleft()
+                start = max(self._busy_until, now)
+                self._busy_until = start + next_latency
+                self.stats.busy_ns += next_latency
+            stall = max(0.0, self._busy_until - now)
+            now = max(now, self._busy_until)
+            self.stats.write_stall_ns += stall
+        self._write_queue.append(latency_ns)
+        self.stats.writes += 1
+        self.stats.max_write_queue = max(
+            self.stats.max_write_queue, len(self._write_queue)
+        )
+        return stall
+
+    def service_read(self, now: float, latency_ns: float) -> float:
+        """Blocking read at time ``now``; returns its total latency (ns).
+
+        Read priority: the read begins as soon as the in-flight operation
+        (if any) completes, jumping ahead of all queued writes.
+        """
+        self._drain_writes(now)
+        start = max(now, self._busy_until)
+        completion = start + latency_ns
+        self._busy_until = completion
+        wait = start - now
+        self.stats.reads += 1
+        self.stats.read_wait_ns += wait
+        self.stats.busy_ns += latency_ns
+        return completion - now
+
+    def flush(self, now: float) -> float:
+        """Drain all queued writes; returns the time everything completes."""
+        self._drain_writes(float("inf"))
+        return max(now, self._busy_until)
+
+    @property
+    def queued_writes(self) -> int:
+        return len(self._write_queue)

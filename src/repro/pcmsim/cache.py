@@ -1,0 +1,96 @@
+"""Set-associative LRU caches, write-through / no-write-allocate.
+
+The paper's simulator assumes write-through caches so that "every data write
+must go to the main memory"; reads are filtered by the hierarchy as usual.
+Each level is a standard set-associative LRU cache.  Writes update (but do
+not allocate) a line and always propagate downward; reads allocate on miss.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .config import CacheConfig
+
+
+class SetAssociativeCache:
+    """One cache level.  LRU per set, write-through, no write-allocate."""
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        # One OrderedDict per set: maps line tag -> None, LRU order = insertion.
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, address: int) -> tuple[OrderedDict[int, None], int]:
+        line = address // self.config.line_bytes
+        set_index = line % self.config.num_sets
+        tag = line // self.config.num_sets
+        return self._sets[set_index], tag
+
+    def read(self, address: int) -> bool:
+        """Look up a read; allocate on miss.  Returns True on hit."""
+        lines, tag = self._locate(address)
+        if tag in lines:
+            lines.move_to_end(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        lines[tag] = None
+        if len(lines) > self.config.ways:
+            lines.popitem(last=False)
+        return False
+
+    def write(self, address: int) -> bool:
+        """Look up a write (write-through, no allocate).  True on hit.
+
+        A hit refreshes the line's recency; a miss does not install the
+        line.  Either way the write continues to the next level — the
+        caller must always propagate.
+        """
+        lines, tag = self._locate(address)
+        if tag in lines:
+            lines.move_to_end(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CacheHierarchy:
+    """L1 -> L2 -> L3 write-through hierarchy.
+
+    ``read`` returns the latency the access spent in the hierarchy and
+    whether it must continue to main memory; ``write`` returns the hierarchy
+    latency only (the write always continues to memory).
+    """
+
+    def __init__(self, l1: SetAssociativeCache, l2: SetAssociativeCache,
+                 l3: SetAssociativeCache) -> None:
+        self.levels = [l1, l2, l3]
+
+    def read(self, address: int) -> tuple[float, bool]:
+        """Returns ``(latency_ns, goes_to_memory)``."""
+        latency = 0.0
+        for level in self.levels:
+            latency += level.config.hit_latency_ns
+            if level.read(address):
+                return latency, False
+        return latency, True
+
+    def write(self, address: int) -> float:
+        """Returns the hierarchy latency; the write always reaches memory."""
+        latency = 0.0
+        for level in self.levels:
+            latency += level.config.hit_latency_ns
+            level.write(address)
+        return latency

@@ -1,0 +1,119 @@
+"""Configuration of the trace-driven PCM memory simulator (paper Table 1).
+
+====================  =========================================
+L1 cache              32KB, LRU, write-through
+L2 cache              2MB, 4-way, LRU, write-through
+L3 cache              32MB, 8-way, LRU, 10ns, write-through
+Main memory           8GB PCM, 4KB pages, 4 ranks of 8 banks,
+                      32-entry write queue per bank,
+                      8-entry read queue per bank,
+                      read-priority scheduling
+Precise PCM latency   read 50ns, write 1us (T = 0.025)
+====================  =========================================
+
+Associativity of L1 and the L1/L2 access latencies are not given in the
+paper; conventional values (8-way, 1ns / 5ns) are used and are irrelevant to
+the write-latency results (write-through means every write reaches memory
+regardless of cache state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One level of the write-through cache hierarchy."""
+
+    size_bytes: int
+    ways: int
+    line_bytes: int = 64
+    hit_latency_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0 or self.line_bytes <= 0:
+            raise ValueError("cache geometry values must be positive")
+        if self.size_bytes % (self.ways * self.line_bytes) != 0:
+            raise ValueError(
+                "cache size must be a multiple of ways * line size: "
+                f"{self.size_bytes} % ({self.ways} * {self.line_bytes}) != 0"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class PCMConfig:
+    """Main-memory geometry and device timings."""
+
+    capacity_bytes: int = 8 * GB
+    page_bytes: int = 4 * KB
+    ranks: int = 4
+    banks_per_rank: int = 8
+    write_queue_entries: int = 32
+    read_queue_entries: int = 8
+    read_latency_ns: float = 50.0
+    write_latency_ns: float = 1000.0
+    #: Latency of a read that hits the bank's open row buffer (Table 1's
+    #: 4KB pages); the full ``read_latency_ns`` applies on a row miss.
+    row_hit_read_latency_ns: float = 20.0
+    #: Latency multiplier for writes continuing a bank's sequential stream.
+    #: The paper's Section-5 future-work note: its model "assumes the
+    #: performance of random writes is the same as that of sequential
+    #: writes"; set this below 1.0 to model the sequential discount and
+    #: measure its effect (see ``repro.experiments.ext_sequential``).
+    sequential_write_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.ranks <= 0 or self.banks_per_rank <= 0:
+            raise ValueError("rank/bank counts must be positive")
+        if self.write_queue_entries <= 0 or self.read_queue_entries <= 0:
+            raise ValueError("queue capacities must be positive")
+        if not 0.0 < self.sequential_write_factor <= 1.0:
+            raise ValueError(
+                "sequential_write_factor must be in (0, 1], got "
+                f"{self.sequential_write_factor}"
+            )
+        if not 0.0 < self.row_hit_read_latency_ns <= self.read_latency_ns:
+            raise ValueError(
+                "row_hit_read_latency_ns must be positive and not exceed"
+                f" read_latency_ns, got {self.row_hit_read_latency_ns}"
+            )
+
+    @property
+    def num_banks(self) -> int:
+        return self.ranks * self.banks_per_rank
+
+
+@dataclass(frozen=True)
+class SimulatorConfig:
+    """Full Table-1 configuration of the memory system."""
+
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(32 * KB, ways=8, hit_latency_ns=1.0)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(2 * MB, ways=4, hit_latency_ns=5.0)
+    )
+    l3: CacheConfig = field(
+        default_factory=lambda: CacheConfig(32 * MB, ways=8, hit_latency_ns=10.0)
+    )
+    pcm: PCMConfig = field(default_factory=PCMConfig)
+    #: Multiplier on the device write latency for writes to the approximate
+    #: region — the measured p(t) of the configured approximate memory.
+    approx_write_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.approx_write_factor <= 0:
+            raise ValueError("approx_write_factor must be positive")
+
+
+#: The paper's exact Table-1 setup with precise-only memory.
+TABLE1_CONFIG = SimulatorConfig()

@@ -1,0 +1,94 @@
+"""Memory controller: address mapping and bank scheduling.
+
+Addresses interleave across the 32 banks (4 ranks x 8 banks, Table 1) at
+cache-line granularity — consecutive lines map to consecutive banks, the
+standard layout for spreading sequential streams.  Each bank runs the
+posted-write / read-priority discipline of :class:`repro.pcmsim.bank.PCMBank`.
+
+Only one read is outstanding at a time (single-core, blocking loads — the
+paper collects traces with one core), so the 8-entry read queue of Table 1
+never fills; it is retained in the configuration for fidelity.
+"""
+
+from __future__ import annotations
+
+from .bank import PCMBank
+from .config import PCMConfig
+
+
+class MemoryController:
+    """Routes accesses to banks and accumulates device-level timing."""
+
+    def __init__(self, config: PCMConfig, line_bytes: int = 64) -> None:
+        self.config = config
+        self.line_bytes = line_bytes
+        self.banks = [
+            PCMBank(config.write_queue_entries, index=i)
+            for i in range(config.num_banks)
+        ]
+        #: Per-bank line index of the most recent write (sequential detect).
+        self._last_write_line = [-(2**40)] * config.num_banks
+        self.sequential_writes = 0
+        #: Per-bank open row (Table 1's 4KB pages act as row buffers).
+        self._open_row = [-1] * config.num_banks
+        self.row_hits = 0
+        self.row_misses = 0
+
+    def bank_for(self, address: int) -> PCMBank:
+        """Line-interleaved bank mapping."""
+        line = address // self.line_bytes
+        return self.banks[line % self.config.num_banks]
+
+    def _is_sequential_write(self, bank_index: int, line: int) -> bool:
+        """A write continues its bank's stream when it stays on the bank's
+        last-written line or moves to that bank's next interleaved line."""
+        last = self._last_write_line[bank_index]
+        return line == last or line == last + self.config.num_banks
+
+    def read(self, now: float, address: int) -> float:
+        """Blocking read; returns its memory-side latency in ns.
+
+        Open-row policy: a read to the bank's currently open 4KB row is
+        served from the row buffer at the reduced hit latency.
+        """
+        bank = self.bank_for(address)
+        row = address // self.config.page_bytes
+        if self._open_row[bank.index] == row:
+            self.row_hits += 1
+            latency = self.config.row_hit_read_latency_ns
+        else:
+            self.row_misses += 1
+            latency = self.config.read_latency_ns
+            self._open_row[bank.index] = row
+        return bank.service_read(now, latency)
+
+    def write(self, now: float, address: int, latency_ns: float) -> float:
+        """Posted write; returns the CPU stall in ns (0 unless queue full)."""
+        line = address // self.line_bytes
+        bank = self.banks[line % self.config.num_banks]
+        if (
+            self.config.sequential_write_factor < 1.0
+            and self._is_sequential_write(bank.index, line)
+        ):
+            latency_ns *= self.config.sequential_write_factor
+            self.sequential_writes += 1
+        self._last_write_line[bank.index] = line
+        # A write (once performed) leaves its row open in the bank.
+        self._open_row[bank.index] = address // self.config.page_bytes
+        return bank.post_write(now, latency_ns)
+
+    def flush(self, now: float) -> float:
+        """Drain all write queues; returns the completion time."""
+        return max(bank.flush(now) for bank in self.banks)
+
+    @property
+    def total_busy_ns(self) -> float:
+        return sum(bank.stats.busy_ns for bank in self.banks)
+
+    @property
+    def total_reads(self) -> int:
+        return sum(bank.stats.reads for bank in self.banks)
+
+    @property
+    def total_writes(self) -> int:
+        return sum(bank.stats.writes for bank in self.banks)

@@ -1,0 +1,119 @@
+"""Memory-access traces: records, capture, and synthetic generation.
+
+The paper's simulator is trace-driven, with traces captured from native
+executions on a Xeon machine.  Here traces are captured from the
+instrumented arrays instead: every accounted read/write an algorithm issues
+becomes one :class:`TraceEvent` (same stream the paper's pin-based collector
+would see for the key and ID arrays).
+
+Addresses: each named region is laid out contiguously, 4 bytes per element
+(32-bit keys/IDs), with regions separated so approximate and precise data
+never share cache lines or banks by accident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+#: Element size in bytes (32-bit keys and record IDs).
+ELEMENT_BYTES = 4
+
+#: Default byte span reserved per region in the flat address space.
+REGION_SPAN = 1 << 30
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One memory access: R or W, to a region, at a byte address."""
+
+    op: str  # "R" or "W"
+    region: str  # "precise" or "approx"
+    address: int
+
+    def __post_init__(self) -> None:
+        if self.op not in ("R", "W"):
+            raise ValueError(f"op must be 'R' or 'W', got {self.op!r}")
+        if self.address < 0:
+            raise ValueError(f"address must be non-negative, got {self.address}")
+
+
+class TraceRecorder:
+    """Collects trace events from instrumented arrays.
+
+    Pass :meth:`hook_for` as the ``trace=`` argument of an array; each array
+    (by name) is assigned its own base address within its region's span.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+        self._bases: dict[tuple[str, str], int] = {}
+        self._next_offset: dict[str, int] = {"precise": 0, "approx": REGION_SPAN}
+
+    def _base_for(self, region: str, name: str) -> int:
+        key = (region, name)
+        base = self._bases.get(key)
+        if base is None:
+            base = self._next_offset.get(region, 0)
+            # Reserve a generous span per array, skewed by one cache line
+            # per allocation so distinct arrays start on distinct banks
+            # (spans are powers of two, hence congruent mod the bank
+            # stride; without the skew, element k of every array would
+            # land on the same bank and interleaved streams would alias).
+            self._next_offset[region] = base + (REGION_SPAN >> 4) + 64
+            self._bases[key] = base
+        return base
+
+    def hook_for(self, name: str, region: str):
+        """Return a ``(op, region, index)`` callable bound to one array."""
+        base = self._base_for(region, name)
+
+        def hook(op: str, hook_region: str, index: int) -> None:
+            self.events.append(
+                TraceEvent(op, hook_region, base + index * ELEMENT_BYTES)
+            )
+
+        return hook
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+
+def sequential_write_trace(
+    count: int, region: str = "precise", start: int = 0
+) -> list[TraceEvent]:
+    """Synthetic trace: ``count`` sequential word writes."""
+    return [
+        TraceEvent("W", region, start + i * ELEMENT_BYTES) for i in range(count)
+    ]
+
+
+def strided_trace(
+    count: int,
+    stride_bytes: int,
+    op: str = "R",
+    region: str = "precise",
+    start: int = 0,
+) -> list[TraceEvent]:
+    """Synthetic trace: ``count`` ops with a fixed byte stride."""
+    return [
+        TraceEvent(op, region, start + i * stride_bytes) for i in range(count)
+    ]
+
+
+def interleave(*traces: Iterable[TraceEvent]) -> list[TraceEvent]:
+    """Round-robin interleave several traces (models concurrent streams)."""
+    iterators = [iter(t) for t in traces]
+    out: list[TraceEvent] = []
+    while iterators:
+        alive = []
+        for it in iterators:
+            event = next(it, None)
+            if event is not None:
+                out.append(event)
+                alive.append(it)
+        iterators = alive
+    return out

@@ -1,0 +1,28 @@
+"""Instrumented sorting algorithms (paper Sections 3.1 and Appendix B)."""
+
+from .base import BaseSorter, Sorter, nlog2n
+from .insertion import InsertionSort
+from .mergesort import Mergesort
+from .natural_merge import NaturalMergesort
+from .quicksort import Quicksort
+from .radix import LSDRadixSort, MSDRadixSort, lsd_digit_plan, msd_digit_plan
+from .radix_histogram import HistogramLSDRadixSort, HistogramMSDRadixSort
+from .registry import available_sorters, make_sorter
+
+__all__ = [
+    "BaseSorter",
+    "HistogramLSDRadixSort",
+    "HistogramMSDRadixSort",
+    "InsertionSort",
+    "LSDRadixSort",
+    "MSDRadixSort",
+    "Mergesort",
+    "NaturalMergesort",
+    "Quicksort",
+    "Sorter",
+    "available_sorters",
+    "lsd_digit_plan",
+    "make_sorter",
+    "msd_digit_plan",
+    "nlog2n",
+]

@@ -1,0 +1,90 @@
+"""Common plumbing of the instrumented sorting algorithms.
+
+Every sorter operates on a *keys* array (precise or approximate memory) and
+an optional *ids* array (always precise memory — the paper keeps record IDs
+precise so the refine stage can recover exact results).  A sorter must mirror
+every key move onto the ID array so that ``ids`` remains the permutation that
+the keys underwent.
+
+Sorters are written against :class:`repro.memory.InstrumentedArray` only, so
+the same code runs on precise PCM, approximate PCM, and the spintronic model
+— the portability property the approx-refine mechanism requires.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Protocol
+
+from repro.memory.approx_array import InstrumentedArray
+
+
+class Sorter(Protocol):
+    """Protocol all sorting algorithms implement."""
+
+    #: Registry name, e.g. ``"quicksort"`` or ``"lsd6"``.
+    name: str
+
+    def sort(
+        self, keys: InstrumentedArray, ids: Optional[InstrumentedArray] = None
+    ) -> None:
+        """Sort ``keys`` (and the parallel ``ids``) in place, ascending."""
+        ...
+
+    def expected_key_writes(self, n: int) -> float:
+        """The paper's alpha_alg(n): expected key writes to sort n elements."""
+        ...
+
+
+class BaseSorter:
+    """Shared helpers: element swap/move mirrored across keys and IDs."""
+
+    name = "base"
+
+    def sort(
+        self, keys: InstrumentedArray, ids: Optional[InstrumentedArray] = None
+    ) -> None:
+        if ids is not None and len(ids) != len(keys):
+            raise ValueError(
+                f"ids length {len(ids)} does not match keys length {len(keys)}"
+            )
+        if len(keys) < 2:
+            return
+        self._sort(keys, ids)
+
+    # Subclasses implement the actual algorithm.
+    def _sort(
+        self, keys: InstrumentedArray, ids: Optional[InstrumentedArray]
+    ) -> None:
+        raise NotImplementedError
+
+    def expected_key_writes(self, n: int) -> float:
+        raise NotImplementedError
+
+    @staticmethod
+    def _swap(
+        keys: InstrumentedArray,
+        ids: Optional[InstrumentedArray],
+        i: int,
+        j: int,
+    ) -> None:
+        """Swap positions ``i`` and ``j`` in keys and (if present) IDs."""
+        ki = keys.read(i)
+        kj = keys.read(j)
+        keys.write(i, kj)
+        keys.write(j, ki)
+        if ids is not None:
+            vi = ids.read(i)
+            vj = ids.read(j)
+            ids.write(i, vj)
+            ids.write(j, vi)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def nlog2n(n: int) -> float:
+    """``n * log2(n)`` with the small-n edge handled."""
+    if n < 2:
+        return 0.0
+    return n * math.log2(n)

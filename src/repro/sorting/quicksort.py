@@ -1,0 +1,100 @@
+"""Randomized quicksort (paper Section 3.1).
+
+The paper implements "a randomized quicksort algorithm — the pivot is chosen
+randomly to reduce the probability of worst cases" and credits quicksort's
+approximate-memory robustness to its divide structure: once a partition step
+separates the halves, an imprecise element only perturbs its own side
+(Section 3.5).
+
+This implementation is an iterative Hoare-partition quicksort with a random
+pivot.  On random data it performs about ``n*log2(n)/2`` key writes, the
+paper's ``alpha_quicksort``.  There is deliberately no small-input
+insertion-sort cutoff: insertion sort trades comparisons for extra shifts
+(writes), which would distort the write accounting the study measures.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.memory.approx_array import InstrumentedArray
+
+from .base import BaseSorter, nlog2n
+
+
+class Quicksort(BaseSorter):
+    """Iterative randomized quicksort over (keys, ids) pairs.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the pivot-selection randomness (independent of the memory
+        model's corruption randomness, so pivot choice and imprecision can be
+        varied separately in experiments).
+    """
+
+    name = "quicksort"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def _sort(
+        self, keys: InstrumentedArray, ids: Optional[InstrumentedArray]
+    ) -> None:
+        # Explicit stack, smaller side pushed last, keeps depth O(log n)
+        # even if corruption produces degenerate partitions.
+        stack = [(0, len(keys) - 1)]
+        while stack:
+            lo, hi = stack.pop()
+            while lo < hi:
+                split = self._partition(keys, ids, lo, hi)
+                # Recurse into the smaller side first (iteratively: push the
+                # larger side, loop on the smaller one).
+                if split - lo < hi - split - 1:
+                    stack.append((split + 1, hi))
+                    hi = split
+                else:
+                    stack.append((lo, split))
+                    lo = split + 1
+
+    def _partition(
+        self,
+        keys: InstrumentedArray,
+        ids: Optional[InstrumentedArray],
+        lo: int,
+        hi: int,
+    ) -> int:
+        """Hoare partition around a randomly chosen pivot.
+
+        The random pivot is first swapped to ``lo`` (the classical guard that
+        makes Hoare's scans terminate), then scanned with explicit bounds:
+        on approximate memory a swap can corrupt the value it writes, which
+        would otherwise let a scan run off the segment.  Returns ``split``
+        in ``[lo, hi - 1]`` such that, up to corruption observed during the
+        scan, ``keys[lo..split] <= pivot <= keys[split+1..hi]``.
+        """
+        p = self._rng.randint(lo, hi)
+        if p != lo:
+            self._swap(keys, ids, lo, p)
+        pivot = keys.read(lo)
+        i = lo - 1
+        j = hi + 1
+        while True:
+            i += 1
+            while i < hi and keys.read(i) < pivot:
+                i += 1
+            j -= 1
+            while j > lo and keys.read(j) > pivot:
+                j -= 1
+            if i >= j:
+                break
+            self._swap(keys, ids, i, j)
+        # On precise memory j < hi always holds; under corruption the clamp
+        # merely leaves keys[hi] unpartitioned (extra unsortedness, which is
+        # exactly what the study measures) while guaranteeing termination.
+        return min(j, hi - 1)
+
+    def expected_key_writes(self, n: int) -> float:
+        """alpha_quicksort(n) ~ n*log2(n)/2 (paper Section 4.3)."""
+        return nlog2n(n) / 2.0

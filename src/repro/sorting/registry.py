@@ -1,0 +1,67 @@
+"""Name-based factory for the sorting algorithms.
+
+The experiment harness and the approx-refine mechanism refer to algorithms
+by the short names the paper uses in its figures: ``quicksort``,
+``mergesort``, ``lsd3``–``lsd6``, ``msd3``–``msd6`` (queue buckets), and the
+Appendix-B histogram variants ``hlsd3``–``hlsd6`` / ``hmsd3``–``hmsd6``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import BaseSorter
+from .insertion import InsertionSort
+from .mergesort import Mergesort
+from .natural_merge import NaturalMergesort
+from .quicksort import Quicksort
+from .radix import LSDRadixSort, MSDRadixSort
+from .radix_histogram import HistogramLSDRadixSort, HistogramMSDRadixSort
+
+_FACTORIES: dict[str, Callable[[], BaseSorter]] = {
+    "quicksort": Quicksort,
+    "mergesort": Mergesort,
+    "insertion": InsertionSort,
+    "natural_merge": NaturalMergesort,
+}
+for _bits in (3, 4, 5, 6):
+    _FACTORIES[f"lsd{_bits}"] = (lambda b: lambda: LSDRadixSort(bits=b))(_bits)
+    _FACTORIES[f"msd{_bits}"] = (lambda b: lambda: MSDRadixSort(bits=b))(_bits)
+    _FACTORIES[f"hlsd{_bits}"] = (
+        lambda b: lambda: HistogramLSDRadixSort(bits=b)
+    )(_bits)
+    _FACTORIES[f"hmsd{_bits}"] = (
+        lambda b: lambda: HistogramMSDRadixSort(bits=b)
+    )(_bits)
+
+
+def available_sorters() -> list[str]:
+    """Names accepted by :func:`make_sorter`, sorted alphabetically."""
+    return sorted(_FACTORIES)
+
+
+def make_sorter(name: str, **kwargs) -> BaseSorter:
+    """Instantiate a sorter by its registry name.
+
+    Keyword arguments are forwarded to the constructor (e.g.
+    ``make_sorter("quicksort", seed=7)``).
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown sorter {name!r}; available: {', '.join(available_sorters())}"
+        ) from None
+    if kwargs:
+        # Factories for the radix family are zero-argument closures; rebuild
+        # with explicit kwargs by dispatching on the class they produce.
+        instance = factory()
+        return type(instance)(**{**_implicit_kwargs(instance), **kwargs})
+    return factory()
+
+
+def _implicit_kwargs(instance: BaseSorter) -> dict:
+    """Constructor kwargs that reproduce ``instance``'s configuration."""
+    if hasattr(instance, "bits"):
+        return {"bits": instance.bits}
+    return {}

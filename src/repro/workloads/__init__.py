@@ -1,0 +1,25 @@
+"""Key-distribution generators for experiments and tests."""
+
+from .generators import (
+    GENERATORS,
+    almost_sorted_keys,
+    few_distinct_keys,
+    make_keys,
+    reverse_sorted_keys,
+    runs_keys,
+    sorted_keys,
+    uniform_keys,
+    zipf_keys,
+)
+
+__all__ = [
+    "GENERATORS",
+    "almost_sorted_keys",
+    "few_distinct_keys",
+    "make_keys",
+    "reverse_sorted_keys",
+    "runs_keys",
+    "sorted_keys",
+    "uniform_keys",
+    "zipf_keys",
+]

@@ -1,0 +1,140 @@
+"""Workload generators.
+
+The paper's workload is an array of uniformly distributed 32-bit integer
+keys plus a payload array of record IDs (Section 3.2).  Beyond that, this
+module provides the input distributions customary in the sorting literature
+(sorted, reverse, almost-sorted, Zipf-skewed, few-distinct) used by the
+extension studies and the property tests.
+
+All generators are seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable
+
+from repro.memory.approx_array import WORD_LIMIT
+
+#: Registry of generator names to factory callables.
+GeneratorFn = Callable[[int, int], list[int]]
+
+
+def uniform_keys(n: int, seed: int = 0) -> list[int]:
+    """The paper's workload: n uniformly random 32-bit unsigned keys."""
+    rng = random.Random(seed)
+    return [rng.randrange(WORD_LIMIT) for _ in range(n)]
+
+
+def sorted_keys(n: int, seed: int = 0) -> list[int]:
+    """Already-sorted uniform keys (best case for adaptive refinement)."""
+    return sorted(uniform_keys(n, seed))
+
+
+def reverse_sorted_keys(n: int, seed: int = 0) -> list[int]:
+    """Reverse-sorted uniform keys (worst case for Rem-style measures)."""
+    return sorted(uniform_keys(n, seed), reverse=True)
+
+
+def almost_sorted_keys(
+    n: int, seed: int = 0, swap_fraction: float = 0.01
+) -> list[int]:
+    """Sorted keys with a fraction of random transpositions applied.
+
+    Models the paper's refine-stage input regime: ``swap_fraction * n``
+    random pairs are exchanged in an otherwise sorted array.
+    """
+    if not 0.0 <= swap_fraction <= 1.0:
+        raise ValueError(f"swap_fraction must be in [0, 1], got {swap_fraction}")
+    rng = random.Random(seed)
+    keys = sorted_keys(n, seed)
+    for _ in range(int(n * swap_fraction)):
+        i = rng.randrange(n)
+        j = rng.randrange(n)
+        keys[i], keys[j] = keys[j], keys[i]
+    return keys
+
+
+def zipf_keys(n: int, seed: int = 0, s: float = 1.2, universe: int = 4096) -> list[int]:
+    """Zipf-skewed keys over a bounded universe (database-style skew).
+
+    Rank ``r`` (1-based) is drawn with probability proportional to
+    ``r**-s``; each rank maps to one fixed key value, spread across the key
+    space so digit histograms are non-trivial for radix sorts and duplicate
+    keys occur with true Zipf frequencies.
+    """
+    if s <= 0:
+        raise ValueError(f"zipf exponent must be positive, got {s}")
+    rng = random.Random(seed)
+    weights = [r ** -s for r in range(1, universe + 1)]
+    total = sum(weights)
+    cdf = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cdf.append(acc)
+    spread = max(1, WORD_LIMIT // universe)
+    # One fixed, shuffled key value per rank: frequency skew follows Zipf,
+    # value order does not leak the rank order.
+    rank_values = [r * spread + spread // 2 for r in range(universe)]
+    rng.shuffle(rank_values)
+
+    def draw() -> int:
+        u = rng.random()
+        lo, hi = 0, universe - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return rank_values[lo]
+
+    return [draw() for _ in range(n)]
+
+
+def few_distinct_keys(n: int, seed: int = 0, distinct: int = 16) -> list[int]:
+    """Keys drawn from a tiny set of values (duplicate-heavy workload)."""
+    if distinct < 1:
+        raise ValueError(f"distinct must be >= 1, got {distinct}")
+    rng = random.Random(seed)
+    values = [rng.randrange(WORD_LIMIT) for _ in range(distinct)]
+    return [values[rng.randrange(distinct)] for _ in range(n)]
+
+
+def runs_keys(n: int, seed: int = 0, run_count: int = 8) -> list[int]:
+    """Concatenation of ``run_count`` sorted runs (natural-mergesort shape)."""
+    if run_count < 1:
+        raise ValueError(f"run_count must be >= 1, got {run_count}")
+    rng = random.Random(seed)
+    keys: list[int] = []
+    base = math.ceil(n / run_count)
+    remaining = n
+    while remaining > 0:
+        size = min(base, remaining)
+        keys.extend(sorted(rng.randrange(WORD_LIMIT) for _ in range(size)))
+        remaining -= size
+    return keys
+
+
+GENERATORS: dict[str, GeneratorFn] = {
+    "uniform": uniform_keys,
+    "sorted": sorted_keys,
+    "reverse": reverse_sorted_keys,
+    "almost_sorted": almost_sorted_keys,
+    "zipf": zipf_keys,
+    "few_distinct": few_distinct_keys,
+    "runs": runs_keys,
+}
+
+
+def make_keys(name: str, n: int, seed: int = 0) -> list[int]:
+    """Generate ``n`` keys from the named distribution."""
+    try:
+        generator = GENERATORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; available: {', '.join(sorted(GENERATORS))}"
+        ) from None
+    return generator(n, seed)

@@ -1,0 +1,69 @@
+"""Shared fixtures: small-fit memory factories and workloads.
+
+Error-model fits run a Monte-Carlo characterization; tests use a reduced
+sample count (accuracy of the fitted probabilities is irrelevant to most
+behavioural assertions) and share fitted models through the process-wide
+model cache, so the whole suite pays for each configuration once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.config import MLCParams, SpintronicParams
+from repro.memory.factories import PCMMemoryFactory, SpintronicMemoryFactory
+from repro.workloads.generators import uniform_keys
+
+#: Monte-Carlo samples per level for test-scope model fits.
+TEST_FIT_SAMPLES = 8_000
+
+
+def make_pcm(t: float) -> PCMMemoryFactory:
+    """PCM memory factory with the test-scope fit size (cached)."""
+    return PCMMemoryFactory(MLCParams(t=t), fit_samples=TEST_FIT_SAMPLES)
+
+
+@pytest.fixture(scope="session")
+def pcm_precise() -> PCMMemoryFactory:
+    """The T = 0.025 (precise) PCM configuration."""
+    return make_pcm(0.025)
+
+
+@pytest.fixture(scope="session")
+def pcm_sweet() -> PCMMemoryFactory:
+    """The T = 0.055 sweet-spot PCM configuration."""
+    return make_pcm(0.055)
+
+
+@pytest.fixture(scope="session")
+def pcm_aggressive() -> PCMMemoryFactory:
+    """The T = 0.1 heavily approximate PCM configuration."""
+    return make_pcm(0.1)
+
+
+@pytest.fixture(scope="session")
+def stt_33() -> SpintronicMemoryFactory:
+    """The 33%-saving / BER 1e-5 spintronic configuration."""
+    return SpintronicMemoryFactory(
+        SpintronicParams(energy_saving=0.33, bit_error_rate=1e-5)
+    )
+
+
+@pytest.fixture(scope="session")
+def stt_heavy() -> SpintronicMemoryFactory:
+    """A deliberately error-heavy spintronic configuration (BER 1e-3)."""
+    return SpintronicMemoryFactory(
+        SpintronicParams(energy_saving=0.5, bit_error_rate=1e-3)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_keys() -> list[int]:
+    """500 uniform keys shared by cheap tests."""
+    return uniform_keys(500, seed=7)
+
+
+@pytest.fixture(scope="session")
+def medium_keys() -> list[int]:
+    """4000 uniform keys for the heavier behavioural tests."""
+    return uniform_keys(4_000, seed=7)

@@ -1,0 +1,217 @@
+"""End-to-end tests of the approx-refine mechanism."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.approx_refine import (
+    run_approx_only,
+    run_approx_refine,
+    run_precise_baseline,
+)
+from repro.core.report import REFINE_STAGES, STAGES
+from repro.workloads.generators import make_keys, uniform_keys
+
+from ..conftest import make_pcm
+
+ALGORITHMS = ("quicksort", "mergesort", "lsd3", "lsd6", "msd6", "hlsd6")
+
+
+class TestExactness:
+    """The paper's central guarantee: output is precise for any T."""
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_exact_at_sweet_spot(self, algorithm, pcm_sweet):
+        keys = uniform_keys(800, seed=1)
+        result = run_approx_refine(keys, algorithm, pcm_sweet, seed=2)
+        assert result.final_keys == sorted(keys)
+        assert [keys[i] for i in result.final_ids] == result.final_keys
+
+    @pytest.mark.parametrize("algorithm", ("quicksort", "lsd6", "mergesort"))
+    def test_exact_under_heavy_corruption(self, algorithm, pcm_aggressive):
+        keys = uniform_keys(600, seed=2)
+        result = run_approx_refine(keys, algorithm, pcm_aggressive, seed=3)
+        assert result.final_keys == sorted(keys)
+        assert sorted(result.final_ids) == list(range(len(keys)))
+
+    def test_exact_on_spintronic_memory(self, stt_heavy):
+        keys = uniform_keys(600, seed=3)
+        result = run_approx_refine(keys, "msd6", stt_heavy, seed=4)
+        assert result.final_keys == sorted(keys)
+
+    @pytest.mark.parametrize(
+        "workload", ["sorted", "reverse", "few_distinct", "zipf", "runs"]
+    )
+    def test_exact_across_distributions(self, workload, pcm_aggressive):
+        keys = make_keys(workload, 400, seed=4)
+        result = run_approx_refine(keys, "quicksort", pcm_aggressive, seed=5)
+        assert result.final_keys == sorted(keys)
+
+    def test_tiny_inputs(self, pcm_sweet):
+        for keys in ([], [7], [9, 1], [3, 3, 3]):
+            result = run_approx_refine(keys, "quicksort", pcm_sweet, seed=6)
+            assert result.final_keys == sorted(keys)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**32 - 1), max_size=80)
+    )
+    def test_property_exact_for_any_input(self, keys):
+        memory = make_pcm(0.1)  # cached fit; heavy corruption
+        result = run_approx_refine(keys, "lsd6", memory, seed=7)
+        assert result.final_keys == sorted(keys)
+
+
+class TestAccounting:
+    def test_stage_stats_cover_all_stages(self, pcm_sweet):
+        result = run_approx_refine(uniform_keys(300, seed=5), "lsd6", pcm_sweet)
+        assert set(result.stage_stats) == set(STAGES)
+
+    def test_stage_deltas_sum_to_total(self, pcm_sweet):
+        result = run_approx_refine(uniform_keys(300, seed=6), "msd6", pcm_sweet)
+        total = sum(
+            s.equivalent_precise_writes for s in result.stage_stats.values()
+        )
+        assert total == pytest.approx(result.stats.equivalent_precise_writes)
+        reads = sum(s.total_reads for s in result.stage_stats.values())
+        assert reads == result.stats.total_reads
+
+    def test_warm_up_and_refine_prep_are_free(self, pcm_sweet):
+        result = run_approx_refine(uniform_keys(200, seed=7), "lsd3", pcm_sweet)
+        assert result.stage_stats["warm_up"].total_writes == 0
+        assert result.stage_stats["refine_preparation"].total_writes == 0
+
+    def test_approx_preparation_cost(self, pcm_sweet):
+        n = 250
+        result = run_approx_refine(uniform_keys(n, seed=8), "lsd6", pcm_sweet)
+        prep = result.stage_stats["approx_preparation"]
+        assert prep.approx_writes == n
+        assert prep.precise_reads == n
+        # n approximate writes cost ~ p(t) * n precise units.
+        assert prep.equivalent_precise_writes == pytest.approx(
+            pcm_sweet.p_ratio * n, rel=0.1
+        )
+
+    def test_merge_stage_write_count(self, pcm_sweet):
+        n = 300
+        result = run_approx_refine(uniform_keys(n, seed=9), "lsd6", pcm_sweet)
+        merge = result.stage_stats["refine_merge"]
+        assert merge.precise_writes == 2 * n + result.rem_tilde
+
+    def test_find_rem_write_count(self, pcm_sweet):
+        result = run_approx_refine(uniform_keys(300, seed=10), "lsd6", pcm_sweet)
+        assert (
+            result.stage_stats["refine_find_rem"].precise_writes
+            == result.rem_tilde
+        )
+
+    def test_refine_units_decompose(self, pcm_sweet):
+        result = run_approx_refine(uniform_keys(300, seed=11), "lsd6", pcm_sweet)
+        assert result.refine_units == pytest.approx(
+            sum(
+                result.stage_stats[name].equivalent_precise_writes
+                for name in REFINE_STAGES
+            )
+        )
+        assert result.total_units == pytest.approx(
+            result.approx_units + result.refine_units
+        )
+
+    def test_only_keys_touch_approx_memory(self, pcm_sweet):
+        """IDs and refine outputs stay precise: approximate writes happen
+        only in approx-preparation and the approx stage."""
+        result = run_approx_refine(uniform_keys(300, seed=12), "msd3", pcm_sweet)
+        for name in ("refine_find_rem", "refine_sort_rem", "refine_merge"):
+            assert result.stage_stats[name].approx_writes == 0
+
+
+class TestBaselineAndReduction:
+    def test_baseline_sorts(self):
+        keys = uniform_keys(400, seed=13)
+        baseline = run_precise_baseline(keys, "mergesort")
+        assert baseline.final_keys == sorted(keys)
+        assert [keys[i] for i in baseline.final_ids] == baseline.final_keys
+
+    def test_baseline_cost_is_twice_alpha(self):
+        """Keys + record IDs both rewritten: 2 * alpha(n) writes."""
+        from repro.sorting.registry import make_sorter
+
+        n = 512
+        keys = uniform_keys(n, seed=14)
+        baseline = run_precise_baseline(keys, "lsd6")
+        assert baseline.total_units == pytest.approx(
+            2 * make_sorter("lsd6").expected_key_writes(n)
+        )
+
+    def test_radix_beats_baseline_at_sweet_spot(self, pcm_sweet):
+        """The headline: positive write reduction for 3-bit LSD at T=0.055."""
+        keys = uniform_keys(4_000, seed=15)
+        baseline = run_precise_baseline(keys, "lsd3")
+        result = run_approx_refine(keys, "lsd3", pcm_sweet, seed=16)
+        assert 0.05 < result.write_reduction_vs(baseline) < 0.15
+
+    def test_mergesort_loses_at_scale(self, pcm_sweet):
+        """Mergesort's Rem~ amplification grows with n (spikes displace
+        whole run suffixes); by n = 16000 the hybrid clearly loses, and the
+        loss deepens toward the paper's 16M regime."""
+        keys = uniform_keys(16_000, seed=17)
+        baseline = run_precise_baseline(keys, "mergesort")
+        result = run_approx_refine(keys, "mergesort", pcm_sweet, seed=18)
+        assert result.write_reduction_vs(baseline) < 0
+        assert result.rem_tilde / len(keys) > 0.1
+
+    def test_precise_t_loses(self, pcm_precise):
+        """p(t) ~ 1: the copy/refine overhead makes the hybrid lose."""
+        keys = uniform_keys(1_000, seed=19)
+        baseline = run_precise_baseline(keys, "lsd3")
+        result = run_approx_refine(keys, "lsd3", pcm_precise, seed=20)
+        assert result.write_reduction_vs(baseline) < 0
+
+
+class TestApproxOnly:
+    def test_fields_consistent(self, pcm_sweet):
+        keys = uniform_keys(500, seed=21)
+        result = run_approx_only(keys, "quicksort", pcm_sweet, seed=22)
+        assert result.n == 500
+        assert len(result.output_keys) == 500
+        assert 0.0 <= result.rem_ratio <= 1.0
+        assert 0.0 <= result.error_rate <= 1.0
+        assert result.stats.approx_writes > 0
+        assert result.stats.precise_writes == 0  # no payload accessed
+
+    def test_include_ids_adds_precise_traffic(self, pcm_sweet):
+        keys = uniform_keys(300, seed=23)
+        result = run_approx_only(
+            keys, "quicksort", pcm_sweet, seed=24, include_ids=True
+        )
+        assert result.stats.precise_writes > 0
+
+    def test_precise_t_sorts_exactly(self, pcm_precise):
+        keys = uniform_keys(500, seed=25)
+        result = run_approx_only(keys, "lsd6", pcm_precise, seed=26)
+        assert result.output_keys == sorted(keys)
+        assert result.rem_ratio == 0.0
+
+    def test_corruption_increases_with_t(self):
+        keys = uniform_keys(1_500, seed=27)
+        rems = []
+        for t in (0.055, 0.08, 0.1):
+            result = run_approx_only(keys, "quicksort", make_pcm(t), seed=28)
+            rems.append(result.rem_ratio)
+        assert rems[0] < rems[-1]
+
+
+class TestDeterminism:
+    def test_same_seed_same_everything(self, pcm_sweet):
+        keys = uniform_keys(400, seed=29)
+        a = run_approx_refine(keys, "quicksort", pcm_sweet, seed=30)
+        b = run_approx_refine(keys, "quicksort", pcm_sweet, seed=30)
+        assert a.final_ids == b.final_ids
+        assert a.rem_tilde == b.rem_tilde
+        assert a.total_units == pytest.approx(b.total_units)
+
+    def test_different_seed_different_corruption(self, pcm_aggressive):
+        keys = uniform_keys(800, seed=31)
+        a = run_approx_refine(keys, "quicksort", pcm_aggressive, seed=1)
+        b = run_approx_refine(keys, "quicksort", pcm_aggressive, seed=2)
+        assert a.final_keys == b.final_keys == sorted(keys)
+        assert a.rem_tilde != b.rem_tilde

@@ -1,0 +1,135 @@
+"""Tests of the Equation-4 analytic cost model and its measured validation."""
+
+import pytest
+
+from repro.core.approx_refine import run_approx_refine, run_precise_baseline
+from repro.core.cost_model import (
+    baseline_cost,
+    hybrid_cost,
+    predicted_write_reduction,
+    should_use_approx_refine,
+)
+from repro.sorting.registry import make_sorter
+from repro.workloads.generators import uniform_keys
+
+
+class TestAlgebra:
+    def test_baseline_is_twice_alpha(self):
+        sorter = make_sorter("mergesort")
+        assert baseline_cost(sorter, 1024) == 2 * sorter.expected_key_writes(1024)
+
+    def test_breakdown_terms(self):
+        sorter = make_sorter("lsd6")
+        n, p, rem = 1000, 0.66, 20
+        cost = hybrid_cost(sorter, n, p, rem)
+        assert cost.approx_preparation == pytest.approx(p * n)
+        assert cost.approx_stage == pytest.approx(
+            (p + 1) * sorter.expected_key_writes(n)
+        )
+        assert cost.refine_find_rem == rem
+        assert cost.refine_sort_rem == sorter.expected_key_writes(rem)
+        assert cost.refine_merge == 2 * n + rem
+        assert cost.total == pytest.approx(
+            cost.approx + cost.refine
+        )
+
+    def test_equation4_identity(self):
+        """WR = 1 - hybrid/baseline must equal the expanded Equation 4."""
+        sorter = make_sorter("quicksort")
+        n, p, rem = 4096, 0.6, 50
+        alpha_n = sorter.expected_key_writes(n)
+        alpha_rem = sorter.expected_key_writes(rem)
+        expanded = (
+            (1 - p) / 2
+            - (rem + (1 + 0.5 * p) * n) / alpha_n
+            - alpha_rem / (2 * alpha_n)
+        )
+        assert predicted_write_reduction(sorter, n, p, rem) == pytest.approx(
+            expanded
+        )
+
+    def test_zero_alpha_edge(self):
+        assert predicted_write_reduction(make_sorter("quicksort"), 1, 0.5, 0) == 0.0
+
+    def test_validation(self):
+        sorter = make_sorter("lsd3")
+        with pytest.raises(ValueError):
+            hybrid_cost(sorter, -1, 0.5, 0)
+        with pytest.raises(ValueError):
+            hybrid_cost(sorter, 10, 0.0, 0)
+        with pytest.raises(ValueError):
+            hybrid_cost(sorter, 10, 1.5, 0)
+        with pytest.raises(ValueError):
+            hybrid_cost(sorter, 10, 0.5, -2)
+
+
+class TestPaperShapeClaims:
+    """Equation 4 must predict the qualitative Figure-9/10 behaviour."""
+
+    def test_lsd3_predicted_positive_at_sweet_spot(self):
+        sorter = make_sorter("lsd3")
+        wr = predicted_write_reduction(sorter, 16_000_000, 0.66, 160_000)
+        assert 0.05 < wr < 0.15  # paper: ~11%
+
+    def test_mergesort_predicted_negative_at_sweet_spot(self):
+        """Mergesort's Rem~ ~ 0.56 n at T = 0.055 sinks it."""
+        sorter = make_sorter("mergesort")
+        n = 16_000_000
+        wr = predicted_write_reduction(sorter, n, 0.66, int(0.56 * n))
+        assert wr < 0
+
+    def test_everything_negative_when_p_is_one(self):
+        for name in ("lsd3", "quicksort", "mergesort"):
+            wr = predicted_write_reduction(make_sorter(name), 100_000, 1.0, 10)
+            assert wr < 0
+
+    def test_everything_negative_when_rem_is_n(self):
+        for name in ("lsd3", "quicksort"):
+            n = 100_000
+            wr = predicted_write_reduction(make_sorter(name), n, 0.5, n)
+            assert wr < 0
+
+    def test_quicksort_reduction_grows_with_n(self):
+        """Fig 10: alpha_quicksort superlinear -> WR monotone in n."""
+        sorter = make_sorter("quicksort")
+        values = [
+            predicted_write_reduction(sorter, n, 0.66, int(0.01 * n))
+            for n in (10_000, 100_000, 1_000_000, 16_000_000)
+        ]
+        assert values == sorted(values)
+
+    def test_switch(self):
+        assert should_use_approx_refine(
+            make_sorter("lsd3"), 1_000_000, 0.66, 10_000
+        )
+        assert not should_use_approx_refine(
+            make_sorter("lsd3"), 1_000_000, 0.99, 10_000
+        )
+
+
+class TestModelVsMeasurement:
+    """The analytic model must track the instrumented mechanism."""
+
+    @pytest.mark.parametrize("algorithm", ["lsd3", "lsd6", "hlsd6", "mergesort"])
+    def test_predicted_vs_measured_reduction(self, algorithm, pcm_sweet):
+        keys = uniform_keys(3_000, seed=1)
+        baseline = run_precise_baseline(keys, algorithm)
+        result = run_approx_refine(keys, algorithm, pcm_sweet, seed=2)
+        measured = result.write_reduction_vs(baseline)
+        predicted = predicted_write_reduction(
+            make_sorter(algorithm),
+            len(keys),
+            pcm_sweet.p_ratio,
+            result.rem_tilde,
+        )
+        # Deterministic-alpha algorithms agree tightly; allow a small band
+        # for the p-unit variance of individual writes.
+        assert measured == pytest.approx(predicted, abs=0.03)
+
+    def test_hybrid_total_matches_measured_units(self, pcm_sweet):
+        keys = uniform_keys(2_000, seed=3)
+        result = run_approx_refine(keys, "lsd6", pcm_sweet, seed=4)
+        predicted = hybrid_cost(
+            make_sorter("lsd6"), len(keys), pcm_sweet.p_ratio, result.rem_tilde
+        )
+        assert result.total_units == pytest.approx(predicted.total, rel=0.03)

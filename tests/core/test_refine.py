@@ -1,0 +1,171 @@
+"""Tests for the refine stage: Listings 1 and 2 and their composition."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.refine import find_rem_ids, merge_refined, sort_rem_ids
+from repro.memory.approx_array import PreciseArray
+from repro.memory.stats import MemoryStats
+from repro.sorting.quicksort import Quicksort
+
+
+def build(keys, permutation):
+    """PreciseArrays for Key0 and an arbitrary approx-stage ID order."""
+    stats = MemoryStats()
+    key0 = PreciseArray(keys, stats=stats)
+    ids = PreciseArray(permutation, stats=stats)
+    return key0, ids, stats
+
+
+def refine_pipeline(keys, permutation):
+    """Run the full three-step refine stage; returns (final_keys, final_ids)."""
+    key0, ids, stats = build(keys, permutation)
+    rem_ids = find_rem_ids(ids, key0)
+    sorted_rem = sort_rem_ids(rem_ids, key0, Quicksort(seed=1), stats)
+    final_keys = PreciseArray([0] * len(keys), stats=stats)
+    final_ids = PreciseArray([0] * len(keys), stats=stats)
+    merge_refined(ids, key0, sorted_rem, final_keys, final_ids)
+    return final_keys.to_list(), final_ids.to_list(), len(rem_ids), stats
+
+
+class TestFindRemIds:
+    def test_sorted_permutation_yields_empty_rem(self):
+        keys = [10, 20, 30, 40]
+        key0, ids, _ = build(keys, [0, 1, 2, 3])
+        assert find_rem_ids(ids, key0) == []
+
+    def test_single_spike_detected(self):
+        # Key order: 10, 99, 20, 30 -> the 99 breaks the ascent.
+        keys = [10, 99, 20, 30]
+        key0, ids, _ = build(keys, [0, 1, 2, 3])
+        assert find_rem_ids(ids, key0) == [1]
+
+    def test_trailing_small_element_detected(self):
+        """Listing 1 evicts both the final small element and its left
+        neighbour (whose right-neighbour test fails) — over-removal the
+        paper accepts in exchange for the O(n) single scan."""
+        keys = [10, 20, 5]
+        key0, ids, _ = build(keys, [0, 1, 2])
+        assert find_rem_ids(ids, key0) == [1, 2]
+
+    def test_paper_running_example(self):
+        """Figure 8: Key0 = [168,528,1,96,33,35,928,6] with the approx-stage
+        order giving keys [1,6,35,33,96,928,168,528]; REMID~ = {6th, 7th}
+        elements — IDs 5 and 6 (0-indexed: the '35' and the '928')."""
+        key0_values = [168, 528, 1, 96, 33, 35, 928, 6]
+        ids_after_approx = [2, 7, 5, 4, 3, 6, 0, 1]
+        key0, ids, _ = build(key0_values, ids_after_approx)
+        assert find_rem_ids(ids, key0) == [5, 6]
+
+    def test_empty_and_single(self):
+        key0, ids, _ = build([], [])
+        assert find_rem_ids(ids, key0) == []
+        key0, ids, _ = build([5], [0])
+        assert find_rem_ids(ids, key0) == []
+
+    def test_writes_accounted_per_rem_element(self):
+        keys = [10, 99, 20, 5]
+        key0, ids, stats = build(keys, [0, 1, 2, 3])
+        rem_ids = find_rem_ids(ids, key0)
+        assert stats.precise_writes == len(rem_ids)
+
+    def test_rem_tilde_upper_bounds_exact_rem(self):
+        """The heuristic may over-remove, never under-remove: the kept
+        subsequence is non-decreasing, so Rem <= Rem~."""
+        from repro.metrics.sortedness import rem
+
+        keys = [50, 10, 60, 20, 70, 30, 80]
+        key0, ids, _ = build(keys, list(range(len(keys))))
+        rem_ids = find_rem_ids(ids, key0)
+        assert len(rem_ids) >= rem(keys)
+
+    def test_kept_sequence_is_nondecreasing(self):
+        keys = [9, 3, 7, 1, 8, 2, 6, 4, 5]
+        key0, ids, _ = build(keys, list(range(len(keys))))
+        rem_set = set(find_rem_ids(ids, key0))
+        kept = [keys[i] for i in range(len(keys)) if i not in rem_set]
+        assert kept == sorted(kept)
+
+
+class TestSortRemIds:
+    def test_sorts_by_key_value(self):
+        keys = [30, 10, 20]
+        key0 = PreciseArray(keys)
+        stats = MemoryStats()
+        result = sort_rem_ids([0, 1, 2], key0, Quicksort(seed=0), stats)
+        assert result == [1, 2, 0]
+
+    def test_small_inputs_passthrough(self):
+        key0 = PreciseArray([5, 6])
+        stats = MemoryStats()
+        assert sort_rem_ids([], key0, Quicksort(), stats) == []
+        assert sort_rem_ids([1], key0, Quicksort(), stats) == [1]
+
+    def test_shadow_key_writes_not_charged(self):
+        """Only ID writes and Key0 reads count (paper Section 4.3)."""
+        keys = list(range(100, 0, -1))
+        key0 = PreciseArray(keys)
+        stats = MemoryStats()
+        sort_rem_ids(list(range(100)), key0, Quicksort(seed=2), stats)
+        # Writes charged = ID-array writes only: strictly fewer than the
+        # 2x (keys+ids) a naive pair sort would charge.
+        assert 0 < stats.precise_writes < 2 * Quicksort().expected_key_writes(100)
+        assert stats.precise_reads > 0
+
+
+class TestMergeRefined:
+    def test_paper_running_example_final_output(self):
+        key0_values = [168, 528, 1, 96, 33, 35, 928, 6]
+        ids_after_approx = [2, 7, 5, 4, 3, 6, 0, 1]
+        final_keys, final_ids, rem_count, _ = refine_pipeline(
+            key0_values, ids_after_approx
+        )
+        assert final_keys == [1, 6, 33, 35, 96, 168, 528, 928]
+        assert final_ids == [2, 7, 4, 5, 3, 0, 1, 6]
+        assert rem_count == 2
+
+    def test_merge_write_count(self):
+        """Step 3 writes exactly 2n + Rem~ (set inserts + two outputs)."""
+        keys = [10, 99, 20, 5]
+        key0, ids, stats = build(keys, [0, 1, 2, 3])
+        rem_ids = find_rem_ids(ids, key0)
+        rem_sorted = sorted(rem_ids, key=lambda i: keys[i])
+        mark = stats.snapshot()
+        final_keys = PreciseArray([0] * 4, stats=stats)
+        final_ids = PreciseArray([0] * 4, stats=stats)
+        merge_refined(ids, key0, rem_sorted, final_keys, final_ids)
+        delta = stats.delta_since(mark)
+        assert delta.precise_writes == 2 * 4 + len(rem_ids)
+
+    def test_all_elements_in_rem(self):
+        """Degenerate case: reverse-sorted keys put ~everything in REM."""
+        keys = list(range(50, 0, -1))
+        final_keys, final_ids, rem_count, _ = refine_pipeline(
+            keys, list(range(50))
+        )
+        assert final_keys == sorted(keys)
+        assert rem_count >= 48
+
+
+class TestRefinePipelineProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**32 - 1), max_size=60)
+    )
+    def test_exact_for_any_permutation(self, keys):
+        """The refine invariant: any ID permutation refines to sorted."""
+        import random
+
+        permutation = list(range(len(keys)))
+        random.Random(42).shuffle(permutation)
+        final_keys, final_ids, _, _ = refine_pipeline(keys, permutation)
+        assert final_keys == sorted(keys)
+        assert sorted(final_ids) == list(range(len(keys)))
+        assert [keys[i] for i in final_ids] == final_keys
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=30), max_size=40))
+    def test_exact_with_heavy_duplicates(self, keys):
+        permutation = list(range(len(keys)))[::-1]
+        final_keys, _, _, _ = refine_pipeline(keys, permutation)
+        assert final_keys == sorted(keys)

@@ -1,0 +1,92 @@
+"""Tests for the refine-stage ablation implementations."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.refine import find_rem_ids
+from repro.core.refine_ablation import (
+    adaptive_refine_writes,
+    find_rem_ids_exact,
+)
+from repro.memory.approx_array import PreciseArray
+from repro.memory.stats import MemoryStats
+from repro.metrics.sortedness import rem
+
+
+def build(keys, permutation):
+    stats = MemoryStats()
+    key0 = PreciseArray(keys, stats=stats)
+    ids = PreciseArray(permutation, stats=stats)
+    return key0, ids, stats
+
+
+class TestExactLIS:
+    def test_sorted_input_empty_rem(self):
+        key0, ids, _ = build([1, 2, 3, 4], [0, 1, 2, 3])
+        assert find_rem_ids_exact(ids, key0) == []
+
+    def test_matches_exact_rem_metric(self):
+        rng = random.Random(1)
+        keys = [rng.randrange(1000) for _ in range(200)]
+        key0, ids, _ = build(keys, list(range(200)))
+        rem_ids = find_rem_ids_exact(ids, key0)
+        assert len(rem_ids) == rem(keys)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=40), max_size=40))
+    def test_property_minimal_rem(self, keys):
+        key0, ids, _ = build(keys, list(range(len(keys))))
+        rem_ids = find_rem_ids_exact(ids, key0)
+        assert len(rem_ids) == rem(keys)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=40), max_size=40))
+    def test_property_kept_sequence_sorted(self, keys):
+        key0, ids, _ = build(keys, list(range(len(keys))))
+        rem_set = set(find_rem_ids_exact(ids, key0))
+        kept = [k for i, k in enumerate(keys) if i not in rem_set]
+        assert kept == sorted(kept)
+
+    def test_never_beats_heuristic_never_worse_than(self):
+        """Rem(exact) <= Rem~(heuristic) on the same sequence."""
+        rng = random.Random(2)
+        keys = [rng.randrange(10_000) for _ in range(500)]
+        key0, ids, _ = build(keys, list(range(500)))
+        exact = find_rem_ids_exact(ids, key0)
+        key0b, idsb, _ = build(keys, list(range(500)))
+        heuristic = find_rem_ids(idsb, key0b)
+        assert len(exact) <= len(heuristic)
+
+    def test_intermediate_writes_charged(self):
+        """The exact variant pays ~2n intermediate writes (its drawback)."""
+        keys = list(range(100))
+        key0, ids, stats = build(keys, list(range(100)))
+        find_rem_ids_exact(ids, key0)
+        assert stats.precise_writes >= 2 * 100
+
+
+class TestAdaptiveRefine:
+    def test_produces_sorted_permutation(self):
+        rng = random.Random(3)
+        keys = [rng.randrange(1000) for _ in range(150)]
+        order = list(range(150))
+        rng.shuffle(order)
+        key0, ids, _ = build(keys, order)
+        final_ids, _ = adaptive_refine_writes(ids, key0)
+        assert [keys[i] for i in final_ids] == sorted(keys)
+
+    def test_cheap_on_nearly_sorted(self):
+        """Few inversions -> writes near zero (the adaptive sweet spot)."""
+        keys = list(range(300))
+        key0, ids, _ = build(keys, list(range(300)))
+        _, stats = adaptive_refine_writes(ids, key0)
+        assert stats.precise_writes == 0
+
+    def test_expensive_on_disordered(self):
+        """Many inversions -> writes far beyond the heuristic's < 3n."""
+        keys = list(range(200, 0, -1))
+        key0, ids, _ = build(keys, list(range(200)))
+        _, stats = adaptive_refine_writes(ids, key0)
+        assert stats.precise_writes > 3 * 200

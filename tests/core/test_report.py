@@ -1,0 +1,51 @@
+"""Tests for the result records and stage-table formatting."""
+
+import pytest
+
+from repro.core.approx_refine import run_approx_refine, run_precise_baseline
+from repro.core.report import STAGES, format_stage_table
+from repro.workloads.generators import uniform_keys
+
+
+@pytest.fixture(scope="module")
+def result(pcm_sweet_module):
+    return run_approx_refine(uniform_keys(300, seed=1), "lsd6", pcm_sweet_module)
+
+
+@pytest.fixture(scope="module")
+def pcm_sweet_module():
+    from ..conftest import make_pcm
+
+    return make_pcm(0.055)
+
+
+class TestFormatStageTable:
+    def test_mentions_every_stage(self, result):
+        text = format_stage_table(result)
+        for stage in STAGES:
+            assert stage in text
+
+    def test_includes_totals_and_rem(self, result):
+        text = format_stage_table(result)
+        assert "TOTAL" in text
+        assert "Rem~" in text
+        assert "lsd6" in text
+
+    def test_total_row_consistent(self, result):
+        text = format_stage_table(result)
+        total_line = next(l for l in text.splitlines() if l.startswith("TOTAL"))
+        assert f"{result.stats.total_writes}" in total_line
+
+
+class TestResultProperties:
+    def test_write_reduction_sign_convention(self, result):
+        baseline = run_precise_baseline(uniform_keys(300, seed=1), "lsd6")
+        reduction = result.write_reduction_vs(baseline)
+        assert reduction == pytest.approx(
+            1 - result.total_units / baseline.total_units
+        )
+
+    def test_metadata(self, result):
+        assert result.algorithm == "lsd6"
+        assert result.n == 300
+        assert "PCM" in result.memory_description

@@ -1,0 +1,208 @@
+"""Tests for the logical query plan layer."""
+
+import random
+
+import pytest
+
+from repro.db.query import (
+    Filter,
+    GroupBy,
+    Join,
+    Project,
+    Scan,
+    Sort,
+    execute,
+    explain,
+)
+from repro.db.table import Relation
+
+
+def orders(n=500, seed=0):
+    rng = random.Random(seed)
+    return Relation(
+        {
+            "customer": [rng.randrange(12) for _ in range(n)],
+            "amount": [rng.randrange(10_000) for _ in range(n)],
+        }
+    )
+
+
+class TestNodes:
+    def test_filter_validates_comparator(self):
+        with pytest.raises(ValueError, match="comparator"):
+            Filter(Scan(orders()), "amount", "~=", 5)
+
+    def test_explain_renders_tree(self):
+        plan = Sort(
+            GroupBy(
+                Filter(Scan(orders(), name="orders"), "amount", ">=", 100),
+                key="customer",
+                aggregates={"total": ("sum", "amount")},
+            ),
+            key="total",
+            descending=True,
+        )
+        text = explain(plan)
+        assert "Sort(total desc)" in text
+        assert "GroupBy(customer; total=sum(amount))" in text
+        assert "Filter(amount >= 100)" in text
+        assert "Scan(orders" in text
+
+    def test_explain_join(self):
+        plan = Join(Scan(orders(), name="a"), Scan(orders(), name="b"), on="customer")
+        text = explain(plan)
+        assert "Join(on=customer)" in text
+        assert text.count("Scan") == 2
+
+
+class TestExecution:
+    def test_scan_identity(self):
+        rel = orders(50)
+        result = execute(Scan(rel))
+        assert result.relation == rel
+
+    def test_filter_matches_comprehension(self):
+        rel = orders(300, seed=1)
+        result = execute(Filter(Scan(rel), "amount", ">=", 5000))
+        expected = [
+            (c, a)
+            for c, a in zip(rel.column("customer"), rel.column("amount"))
+            if a >= 5000
+        ]
+        assert list(result.relation.rows()) == expected
+        assert any("filter" in d for d in result.decisions)
+
+    def test_project_selects_columns(self):
+        rel = orders(100, seed=2)
+        result = execute(Project(Scan(rel), ["amount"]))
+        assert result.relation.column_names == ["amount"]
+        assert result.relation.column("amount") == rel.column("amount")
+
+    def test_sort_node(self):
+        rel = orders(200, seed=3)
+        result = execute(Sort(Scan(rel), key="amount"))
+        assert result.relation.column("amount") == sorted(rel.column("amount"))
+
+    def test_full_pipeline_against_oracle(self):
+        rel = orders(600, seed=4)
+        plan = Sort(
+            GroupBy(
+                Filter(Scan(rel), "amount", ">=", 2_000),
+                key="customer",
+                aggregates={"total": ("sum", "amount"), "n": ("count", "amount")},
+            ),
+            key="total",
+            descending=True,
+        )
+        result = execute(plan)
+
+        oracle: dict[int, int] = {}
+        counts: dict[int, int] = {}
+        for c, a in zip(rel.column("customer"), rel.column("amount")):
+            if a >= 2_000:
+                oracle[c] = oracle.get(c, 0) + a
+                counts[c] = counts.get(c, 0) + 1
+        expected = sorted(
+            ((total, c) for c, total in oracle.items()), reverse=True
+        )
+        got = list(
+            zip(result.relation.column("total"), result.relation.column("customer"))
+        )
+        assert [t for t, _ in got] == [t for t, _ in expected]
+        assert dict(
+            zip(result.relation.column("customer"), result.relation.column("n"))
+        ) == counts
+
+    def test_join_pipeline(self):
+        left = Relation({"k": [1, 2, 3], "a": [10, 20, 30]})
+        right = Relation({"k": [2, 3, 4], "b": [200, 300, 400]})
+        result = execute(Join(Scan(left), Scan(right), on="k"))
+        assert sorted(result.relation.column("k")) == [2, 3]
+        assert any("join" in d for d in result.decisions)
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(TypeError):
+            execute("not a plan")  # type: ignore[arg-type]
+        with pytest.raises(TypeError):
+            explain(42)  # type: ignore[arg-type]
+
+
+class TestHybridExecution:
+    def test_sorts_choose_hybrid_on_sweet_memory(self, pcm_sweet):
+        rel = orders(3_000, seed=5)
+        plan = Sort(Scan(rel), key="amount")
+        result = execute(plan, memory=pcm_sweet, algorithm="lsd3")
+        assert result.relation.column("amount") == sorted(rel.column("amount"))
+        assert "sort(amount): approx-refine" in result.decisions
+
+    def test_mixed_decisions_recorded(self, pcm_sweet):
+        rel = orders(2_500, seed=6)
+        plan = GroupBy(
+            Filter(Scan(rel), "amount", "<", 9_000),
+            key="customer",
+            aggregates={"total": ("sum", "amount")},
+        )
+        result = execute(plan, memory=pcm_sweet, algorithm="lsd3")
+        kinds = [d.split("(")[0] for d in result.decisions]
+        assert kinds == ["filter", "group_by"]
+
+    def test_stats_accumulate_across_nodes(self):
+        rel = orders(400, seed=7)
+        single = execute(Sort(Scan(rel), key="amount"))
+        double = execute(
+            Sort(Sort(Scan(rel), key="amount"), key="customer")
+        )
+        assert (
+            double.stats.equivalent_precise_writes
+            > single.stats.equivalent_precise_writes
+        )
+
+    def test_hybrid_query_exact_vs_precise_query(self, pcm_sweet):
+        rel = orders(2_000, seed=8)
+        plan = Sort(
+            GroupBy(
+                Scan(rel), key="customer",
+                aggregates={"total": ("sum", "amount")},
+            ),
+            key="total",
+        )
+        hybrid = execute(plan, memory=pcm_sweet, algorithm="lsd3")
+        precise = execute(plan)
+        assert list(hybrid.relation.rows()) == list(precise.relation.rows())
+
+
+class TestLimit:
+    def test_top_k(self):
+        from repro.db.query import Limit
+
+        rel = orders(100, seed=9)
+        plan = Limit(Sort(Scan(rel), key="amount", descending=True), 5)
+        result = execute(plan)
+        top5 = result.relation.column("amount")
+        assert top5 == sorted(rel.column("amount"), reverse=True)[:5]
+        assert any(d.startswith("limit(5)") for d in result.decisions)
+
+    def test_limit_beyond_length(self):
+        from repro.db.query import Limit
+
+        rel = orders(10, seed=10)
+        result = execute(Limit(Scan(rel), 50))
+        assert len(result.relation) == 10
+
+    def test_limit_zero(self):
+        from repro.db.query import Limit
+
+        result = execute(Limit(Scan(orders(10)), 0))
+        assert len(result.relation) == 0
+
+    def test_negative_limit_rejected(self):
+        from repro.db.query import Limit
+
+        with pytest.raises(ValueError):
+            Limit(Scan(orders(5)), -1)
+
+    def test_explain_includes_limit(self):
+        from repro.db.query import Limit
+
+        text = explain(Limit(Scan(orders(5), name="t"), 3))
+        assert "Limit(3)" in text

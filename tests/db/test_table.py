@@ -1,0 +1,93 @@
+"""Tests for the column-oriented Relation."""
+
+import pytest
+
+from repro.db.table import Relation
+
+
+class TestConstruction:
+    def test_basic(self):
+        rel = Relation({"a": [1, 2], "b": ["x", "y"]})
+        assert len(rel) == 2
+        assert rel.column_names == ["a", "b"]
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Relation({})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="column lengths differ"):
+            Relation({"a": [1, 2], "b": [1]})
+
+    def test_zero_rows_allowed(self):
+        rel = Relation({"a": [], "b": []})
+        assert len(rel) == 0
+
+    def test_from_rows(self):
+        rel = Relation.from_rows(["id", "name"], [(1, "a"), (2, "b")])
+        assert rel.column("id") == [1, 2]
+        assert rel.column("name") == ["a", "b"]
+
+    def test_from_rows_width_mismatch(self):
+        with pytest.raises(ValueError):
+            Relation.from_rows(["a", "b"], [(1,)])
+
+    def test_defensive_copy_of_input(self):
+        values = [1, 2, 3]
+        rel = Relation({"a": values})
+        values.append(4)
+        assert len(rel) == 3
+
+
+class TestAccess:
+    def test_unknown_column(self):
+        rel = Relation({"a": [1]})
+        with pytest.raises(KeyError, match="no column 'z'"):
+            rel.column("z")
+
+    def test_rows_iteration(self):
+        rel = Relation({"a": [1, 2], "b": ["x", "y"]})
+        assert list(rel.rows()) == [(1, "x"), (2, "y")]
+
+    def test_sort_key_column_validates(self):
+        rel = Relation({"k": [1, 2**32], "s": ["a", "b"]})
+        with pytest.raises(ValueError, match="not 32-bit"):
+            rel.sort_key_column("k")
+        rel2 = Relation({"k": [0, 2**32 - 1]})
+        assert rel2.sort_key_column("k") == [0, 2**32 - 1]
+
+    def test_sort_key_column_rejects_non_int(self):
+        rel = Relation({"k": [1.5]})
+        with pytest.raises(ValueError):
+            rel.sort_key_column("k")
+
+
+class TestTransforms:
+    def test_take_reorders(self):
+        rel = Relation({"a": [10, 20, 30], "b": ["x", "y", "z"]})
+        taken = rel.take([2, 0])
+        assert taken.column("a") == [30, 10]
+        assert taken.column("b") == ["z", "x"]
+
+    def test_with_column(self):
+        rel = Relation({"a": [1, 2]})
+        out = rel.with_column("b", [3, 4])
+        assert out.column("b") == [3, 4]
+        assert rel.column_names == ["a"]  # original untouched
+
+    def test_with_column_length_check(self):
+        with pytest.raises(ValueError):
+            Relation({"a": [1]}).with_column("b", [1, 2])
+
+    def test_rename(self):
+        rel = Relation({"a": [1], "b": [2]})
+        out = rel.rename({"a": "x"})
+        assert out.column_names == ["x", "b"]
+
+    def test_equality(self):
+        assert Relation({"a": [1]}) == Relation({"a": [1]})
+        assert Relation({"a": [1]}) != Relation({"a": [2]})
+        assert Relation({"a": [1]}) != "not a relation"
+
+    def test_repr(self):
+        assert "2 rows" in repr(Relation({"a": [1, 2]}))

@@ -1,0 +1,140 @@
+"""Tests for the ASCII result renderer."""
+
+import json
+
+import pytest
+
+from repro.experiments.plotting import (
+    ascii_line_chart,
+    ascii_scatter,
+    load_result,
+    main,
+    render_curves,
+    render_shapes,
+)
+
+
+class TestLineChart:
+    def test_draws_all_series_glyphs(self):
+        chart = ascii_line_chart(
+            [0, 1, 2],
+            {"a": [0.0, 0.5, 1.0], "b": [1.0, 0.5, 0.0]},
+            width=30,
+            height=8,
+        )
+        assert "o" in chart  # series a
+        assert "x" in chart  # series b
+        assert "o=a" in chart and "x=b" in chart
+
+    def test_axis_labels(self):
+        chart = ascii_line_chart([0, 10], {"y": [-1.0, 2.0]}, height=6)
+        assert "+2.000" in chart
+        assert "-1.000" in chart
+
+    def test_zero_line_when_sign_changes(self):
+        chart = ascii_line_chart([0, 1], {"y": [-0.5, 0.5]}, width=20, height=9)
+        assert "-----" in chart
+
+    def test_constant_series_no_crash(self):
+        chart = ascii_line_chart([0, 1], {"y": [3.0, 3.0]})
+        assert "y" in chart
+
+    def test_empty_inputs(self):
+        assert "(no data)" in ascii_line_chart([], {}, title="t")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart([0, 1], {"y": [1.0]})
+
+    def test_title_first_line(self):
+        chart = ascii_line_chart([0, 1], {"y": [0.0, 1.0]}, title="hello")
+        assert chart.splitlines()[0] == "hello"
+
+
+class TestScatter:
+    def test_sorted_sequence_is_diagonal(self):
+        chart = ascii_scatter(list(range(100)), width=20, height=10)
+        lines = [l for l in chart.splitlines() if l.startswith("|")]
+        # First populated row (top = max values) has its dot on the right,
+        # bottom row on the left.
+        assert lines[0].rstrip().endswith(".")
+        assert lines[-1][1:3].strip() == "."
+
+    def test_empty(self):
+        assert "(no data)" in ascii_scatter([], title="t")
+
+    def test_constant_values(self):
+        chart = ascii_scatter([5, 5, 5], width=10, height=4)
+        assert "." in chart
+
+
+class TestRenderFromPayload:
+    def payload(self):
+        return {
+            "experiment": "fig09",
+            "columns": ["T", "algorithm", "write_reduction"],
+            "rows": [
+                [0.025, "lsd3", -0.05],
+                [0.055, "lsd3", 0.10],
+                [0.025, "mergesort", -0.10],
+                [0.055, "mergesort", 0.01],
+            ],
+            "extra": {},
+        }
+
+    def test_render_curves(self):
+        chart = render_curves(
+            self.payload(), "T", "write_reduction", "algorithm"
+        )
+        assert "lsd3" in chart
+        assert "mergesort" in chart
+
+    def test_render_curves_label_subset(self):
+        chart = render_curves(
+            self.payload(), "T", "write_reduction", "algorithm",
+            labels=["lsd3"],
+        )
+        assert "lsd3" in chart
+        assert "mergesort" not in chart
+
+    def test_render_shapes(self):
+        payload = {
+            "experiment": "fig05_07",
+            "columns": [],
+            "rows": [],
+            "extra": {"series": {"fig06_quicksort": [1, 2, 3, 4]}},
+        }
+        chart = render_shapes(payload, "fig06")
+        assert "fig06_quicksort" in chart
+
+    def test_render_shapes_missing_figure(self):
+        with pytest.raises(ValueError):
+            render_shapes({"extra": {"series": {}}}, "fig05")
+
+
+class TestCLI:
+    def test_load_missing_result(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_result("nope", results_dir=tmp_path)
+
+    def test_main_renders_saved_table(self, tmp_path, capsys):
+        payload = {
+            "experiment": "fig09",
+            "title": "t",
+            "columns": ["T", "algorithm", "write_reduction"],
+            "rows": [[0.025, "lsd3", -0.05], [0.055, "lsd3", 0.1]],
+            "notes": [],
+            "paper_reference": [],
+            "extra": {},
+        }
+        (tmp_path / "fig09.json").write_text(json.dumps(payload))
+        assert main(["--exp", "fig09", "--results-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "write_reduction" in out
+
+    def test_main_unsupported_experiment(self, tmp_path):
+        (tmp_path / "pcmsim.json").write_text(json.dumps({
+            "experiment": "pcmsim", "columns": [], "rows": [], "extra": {},
+        }))
+        with pytest.raises(SystemExit):
+            main(["--exp", "pcmsim", "--results-dir", str(tmp_path)])

@@ -1,0 +1,58 @@
+"""Tests for the CLI experiment runner."""
+
+import pytest
+
+from repro.experiments.runner import main
+
+
+class TestRunnerCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig09" in out
+        assert "pcmsim" in out
+
+    def test_single_experiment(self, capsys):
+        assert main(["--exp", "fig02", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "fig02" in out
+        assert "avg_#P" in out
+        assert "finished in" in out
+
+    def test_multiple_experiments(self, capsys):
+        assert main(
+            ["--exp", "fig02", "--exp", "table3", "--scale", "smoke"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fig02" in out
+        assert "table3" in out
+
+    def test_save_writes_json(self, capsys, tmp_path, monkeypatch):
+        import repro.experiments.common as common
+
+        monkeypatch.setattr(common, "RESULTS_DIR", tmp_path)
+        assert main(["--exp", "fig02", "--scale", "smoke", "--save"]) == 0
+        assert (tmp_path / "fig02.json").exists()
+
+    def test_requires_selection(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--exp", "fig99"])
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--list"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "fig09" in result.stdout

@@ -1,0 +1,169 @@
+"""Tests for external merge sort with hybrid run formation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.external.external_sort import external_merge_sort
+from repro.external.storage import BlockDevice
+from repro.workloads.generators import uniform_keys
+
+
+def make_input(device, n, seed=0, name="input"):
+    keys = uniform_keys(n, seed=seed)
+    return device.write_records(name, list(zip(keys, range(n)))), keys
+
+
+class TestCorrectness:
+    def test_sorts_single_run(self):
+        device = BlockDevice(records_per_page=64)
+        source, keys = make_input(device, 200, seed=1)
+        result = external_merge_sort(source, device, memory_capacity=256)
+        output = result.output.peek_all()
+        assert [k for k, _ in output] == sorted(keys)
+        assert result.runs_formed == 1
+        assert result.merge_passes == 0
+
+    def test_sorts_multiple_runs(self):
+        device = BlockDevice(records_per_page=32)
+        source, keys = make_input(device, 1_000, seed=2)
+        result = external_merge_sort(
+            source, device, memory_capacity=128, fan_in=4
+        )
+        output = result.output.peek_all()
+        assert [k for k, _ in output] == sorted(keys)
+        assert result.runs_formed == 8
+        # 8 runs at fan-in 4: one pass to 2 runs, another to 1.
+        assert result.merge_passes == 2
+
+    def test_multi_pass_merge(self):
+        device = BlockDevice(records_per_page=16)
+        source, keys = make_input(device, 900, seed=3)
+        result = external_merge_sort(
+            source, device, memory_capacity=50, fan_in=3
+        )
+        assert result.runs_formed == 18
+        assert result.merge_passes >= 2
+        assert [k for k, _ in result.output.peek_all()] == sorted(keys)
+
+    def test_record_ids_follow_keys(self):
+        device = BlockDevice(records_per_page=32)
+        source, keys = make_input(device, 500, seed=4)
+        result = external_merge_sort(
+            source, device, memory_capacity=100, fan_in=4
+        )
+        for key, rid in result.output.peek_all():
+            assert keys[rid] == key
+
+    def test_empty_input(self):
+        device = BlockDevice()
+        source = device.create("empty")
+        result = external_merge_sort(source, device)
+        assert result.output.num_records == 0
+        assert result.runs_formed == 0
+
+    def test_duplicates(self):
+        device = BlockDevice(records_per_page=16)
+        rng = random.Random(5)
+        keys = [rng.randrange(8) for _ in range(300)]
+        source = device.write_records("dup", list(zip(keys, range(300))))
+        result = external_merge_sort(source, device, memory_capacity=64)
+        assert [k for k, _ in result.output.peek_all()] == sorted(keys)
+
+    def test_hybrid_run_formation_is_exact(self, pcm_sweet):
+        device = BlockDevice(records_per_page=64)
+        source, keys = make_input(device, 1_500, seed=6)
+        result = external_merge_sort(
+            source, device, memory_capacity=400, fan_in=4,
+            memory=pcm_sweet, sorter="lsd3",
+        )
+        assert result.plan == "approx-refine"
+        assert [k for k, _ in result.output.peek_all()] == sorted(keys)
+
+    def test_validation(self):
+        device = BlockDevice()
+        source = device.create("x")
+        with pytest.raises(ValueError):
+            external_merge_sort(source, device, memory_capacity=0)
+        with pytest.raises(ValueError):
+            external_merge_sort(source, device, fan_in=1)
+
+
+class TestAccounting:
+    def test_identical_io_schedule_across_plans(self, pcm_sweet):
+        """The hybrid plan must not change disk I/O — only memory writes."""
+        io_counts = {}
+        for label, memory in (("precise", None), ("hybrid", pcm_sweet)):
+            device = BlockDevice(records_per_page=32)
+            source, _ = make_input(device, 1_200, seed=7)
+            result = external_merge_sort(
+                source, device, memory_capacity=300, fan_in=4,
+                memory=memory, sorter="lsd3",
+            )
+            io_counts[label] = (
+                result.io_stats.page_reads, result.io_stats.page_writes
+            )
+        assert io_counts["precise"] == io_counts["hybrid"]
+
+    def test_hybrid_saves_memory_writes(self, pcm_sweet):
+        units = {}
+        for label, memory in (("precise", None), ("hybrid", pcm_sweet)):
+            device = BlockDevice(records_per_page=32)
+            source, _ = make_input(device, 2_000, seed=8)
+            result = external_merge_sort(
+                source, device, memory_capacity=500, fan_in=4,
+                memory=memory, sorter="lsd3",
+            )
+            units[label] = result.memory_stats.equivalent_precise_writes
+        assert units["hybrid"] < units["precise"]
+
+    def test_merge_buffers_accounted(self):
+        device = BlockDevice(records_per_page=32)
+        source, _ = make_input(device, 600, seed=9)
+        result = external_merge_sort(
+            source, device, memory_capacity=150, fan_in=4
+        )
+        # Merge pass writes every record through input and output buffers:
+        # at least 4 precise writes per record beyond the sorts.
+        n = 600
+        from repro.sorting.registry import make_sorter
+
+        sort_writes = 2 * sum(
+            make_sorter("lsd3").expected_key_writes(150) for _ in range(4)
+        )
+        assert result.memory_stats.precise_writes >= sort_writes + 4 * n
+
+    def test_intermediate_runs_cleaned_up(self):
+        device = BlockDevice(records_per_page=16)
+        source, _ = make_input(device, 400, seed=10)
+        result = external_merge_sort(
+            source, device, memory_capacity=100, fan_in=2
+        )
+        files = device.list_files()
+        assert result.output.name in files
+        assert not any(".run" in name for name in files)
+
+
+class TestExternalSortProperties:
+    """Hypothesis properties of the external sort."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        keys=st.lists(
+            st.integers(min_value=0, max_value=2**32 - 1), max_size=300
+        ),
+        capacity=st.integers(min_value=1, max_value=80),
+        fan_in=st.integers(min_value=2, max_value=6),
+    )
+    def test_sorts_any_configuration(self, keys, capacity, fan_in):
+        device = BlockDevice(records_per_page=16)
+        source = device.write_records(
+            "input", list(zip(keys, range(len(keys))))
+        )
+        result = external_merge_sort(
+            source, device, memory_capacity=capacity, fan_in=fan_in
+        )
+        output = result.output.peek_all()
+        assert [k for k, _ in output] == sorted(keys)
+        assert sorted(r for _, r in output) == list(range(len(keys)))

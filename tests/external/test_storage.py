@@ -1,0 +1,80 @@
+"""Tests for the simulated block device."""
+
+import pytest
+
+from repro.external.storage import (
+    BlockDevice,
+    PAGE_READ_LATENCY_NS,
+    PAGE_WRITE_LATENCY_NS,
+)
+
+
+class TestBlockDevice:
+    def test_write_records_paginates(self):
+        device = BlockDevice(records_per_page=4)
+        stored = device.write_records("f", [(i, i) for i in range(10)])
+        assert stored.num_pages == 3
+        assert stored.num_records == 10
+        assert device.stats.page_writes == 3
+
+    def test_scan_roundtrip(self):
+        device = BlockDevice(records_per_page=4)
+        records = [(i * 7, i) for i in range(9)]
+        stored = device.write_records("f", records)
+        assert list(stored.scan()) == records
+        assert device.stats.page_reads == stored.num_pages
+
+    def test_read_page_accounted(self):
+        device = BlockDevice(records_per_page=2)
+        stored = device.write_records("f", [(1, 0), (2, 1), (3, 2)])
+        stored.read_page(0)
+        stored.read_page(1)
+        assert device.stats.page_reads == 2
+
+    def test_peek_all_unaccounted(self):
+        device = BlockDevice(records_per_page=2)
+        stored = device.write_records("f", [(1, 0), (2, 1)])
+        reads_before = device.stats.page_reads
+        assert stored.peek_all() == [(1, 0), (2, 1)]
+        assert device.stats.page_reads == reads_before
+
+    def test_oversized_page_rejected(self):
+        device = BlockDevice(records_per_page=2)
+        stored = device.create("f")
+        with pytest.raises(ValueError):
+            stored.append_page([(1, 0), (2, 1), (3, 2)])
+
+    def test_empty_page_append_is_noop(self):
+        device = BlockDevice()
+        stored = device.create("f")
+        stored.append_page([])
+        assert stored.num_pages == 0
+        assert device.stats.page_writes == 0
+
+    def test_open_and_delete(self):
+        device = BlockDevice()
+        device.write_records("a", [(1, 0)])
+        assert device.open("a").num_records == 1
+        device.delete("a")
+        with pytest.raises(FileNotFoundError):
+            device.open("a")
+        device.delete("a")  # idempotent
+
+    def test_list_files(self):
+        device = BlockDevice()
+        device.create("b")
+        device.create("a")
+        assert device.list_files() == ["a", "b"]
+
+    def test_invalid_page_size(self):
+        with pytest.raises(ValueError):
+            BlockDevice(records_per_page=0)
+
+    def test_io_latency(self):
+        device = BlockDevice(records_per_page=2)
+        stored = device.write_records("f", [(1, 0), (2, 1)])
+        stored.read_page(0)
+        assert device.stats.io_latency_ns == pytest.approx(
+            PAGE_WRITE_LATENCY_NS + PAGE_READ_LATENCY_NS
+        )
+        assert device.stats.total_pages == 2

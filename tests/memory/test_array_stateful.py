@@ -1,0 +1,139 @@
+"""Stateful (model-based) property tests for the array layer.
+
+Hypothesis drives random interleavings of reads, writes, block operations
+and flushes against a plain-Python reference model, checking both value
+semantics and the accounting invariants after every step.
+"""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import settings
+
+from repro.memory.approx_array import PreciseArray
+from repro.memory.stats import MemoryStats
+from repro.memory.write_combining import WriteCombiningArray
+
+SIZE = 16
+values = st.integers(min_value=0, max_value=2**32 - 1)
+indices = st.integers(min_value=0, max_value=SIZE - 1)
+
+
+class PreciseArrayMachine(RuleBasedStateMachine):
+    """PreciseArray must behave exactly like a list + write counters."""
+
+    @initialize()
+    def setup(self):
+        self.stats = MemoryStats()
+        self.array = PreciseArray([0] * SIZE, stats=self.stats)
+        self.model = [0] * SIZE
+        self.expected_reads = 0
+        self.expected_writes = 0
+
+    @rule(index=indices, value=values)
+    def write(self, index, value):
+        self.array.write(index, value)
+        self.model[index] = value
+        self.expected_writes += 1
+
+    @rule(index=indices)
+    def read(self, index):
+        assert self.array.read(index) == self.model[index]
+        self.expected_reads += 1
+
+    @rule(start=st.integers(0, SIZE - 1), data=st.lists(values, max_size=6))
+    def write_block(self, start, data):
+        data = data[: SIZE - start]
+        self.array.write_block(start, data)
+        self.model[start : start + len(data)] = data
+        self.expected_writes += len(data)
+
+    @rule(start=st.integers(0, SIZE - 1), count=st.integers(0, 6))
+    def read_block(self, start, count):
+        count = min(count, SIZE - start)
+        assert self.array.read_block(start, count) == self.model[
+            start : start + count
+        ]
+        self.expected_reads += count
+
+    @invariant()
+    def contents_match(self):
+        if hasattr(self, "model"):
+            assert self.array.to_list() == self.model
+
+    @invariant()
+    def accounting_matches(self):
+        if hasattr(self, "model"):
+            assert self.stats.precise_reads == self.expected_reads
+            assert self.stats.precise_writes == self.expected_writes
+
+
+class WriteCombiningMachine(RuleBasedStateMachine):
+    """The buffered view must stay value-equivalent to the model, and its
+    memory writes must never exceed the logical write count."""
+
+    @initialize(capacity=st.integers(min_value=0, max_value=8))
+    def setup(self, capacity):
+        self.stats = MemoryStats()
+        backing = PreciseArray([0] * SIZE, stats=self.stats)
+        self.array = WriteCombiningArray(backing, capacity=capacity)
+        self.model = [0] * SIZE
+        self.logical_writes = 0
+
+    @rule(index=indices, value=values)
+    def write(self, index, value):
+        self.array.write(index, value)
+        self.model[index] = value
+        self.logical_writes += 1
+
+    @rule(index=indices)
+    def read(self, index):
+        assert self.array.read(index) == self.model[index]
+
+    @rule(start=st.integers(0, SIZE - 1), data=st.lists(values, max_size=6))
+    def write_block(self, start, data):
+        data = data[: SIZE - start]
+        self.array.write_block(start, data)
+        self.model[start : start + len(data)] = data
+        self.logical_writes += len(data)
+
+    @rule()
+    def flush(self):
+        self.array.flush()
+
+    @invariant()
+    def logical_contents_match(self):
+        if hasattr(self, "model"):
+            assert self.array.to_list() == self.model
+            for i in range(SIZE):
+                assert self.array.peek(i) == self.model[i]
+
+    @invariant()
+    def combining_never_amplifies_writes(self):
+        if hasattr(self, "model"):
+            assert self.stats.precise_writes <= self.logical_writes
+
+    @invariant()
+    def conservation(self):
+        # Memory writes + still-buffered + absorbed == logical writes.
+        if hasattr(self, "model"):
+            assert (
+                self.stats.precise_writes
+                + len(self.array._buffer)
+                + self.array.combined_writes
+                == self.logical_writes
+            )
+
+
+TestPreciseArrayStateful = PreciseArrayMachine.TestCase
+TestPreciseArrayStateful.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+TestWriteCombiningStateful = WriteCombiningMachine.TestCase
+TestWriteCombiningStateful.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

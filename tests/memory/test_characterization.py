@@ -1,0 +1,60 @@
+"""Tests for the Monte-Carlo characterization (the Figure-2 machinery)."""
+
+import pytest
+
+from repro.memory.characterization import (
+    characterize,
+    characterize_point,
+    p_ratio_curve,
+)
+from repro.memory.config import MLCParams
+
+TRIALS = 40_000
+
+
+class TestCharacterizePoint:
+    def test_precise_anchor(self):
+        point = characterize_point(MLCParams(t=0.025), trials=TRIALS)
+        assert point.t == 0.025
+        assert point.avg_iterations == pytest.approx(2.98, abs=0.2)
+        assert point.cell_error_rate < 1e-3
+        assert point.word_error_rate < 5e-3
+
+    def test_no_guard_band_word_errors(self):
+        """Paper Fig 2b: ~60-70% word error rate at T = 0.124."""
+        point = characterize_point(MLCParams(t=0.124), trials=TRIALS)
+        assert 0.5 < point.word_error_rate < 0.8
+
+    def test_word_rate_exceeds_cell_rate(self):
+        point = characterize_point(MLCParams(t=0.1), trials=TRIALS)
+        assert point.word_error_rate > point.cell_error_rate > 0
+
+
+class TestCharacterizeSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return characterize(
+            [0.025, 0.055, 0.085, 0.115], trials=TRIALS, seed=1
+        )
+
+    def test_iterations_decrease_with_t(self, sweep):
+        iters = [p.avg_iterations for p in sweep]
+        assert iters == sorted(iters, reverse=True)
+
+    def test_errors_increase_with_t(self, sweep):
+        errors = [p.word_error_rate for p in sweep]
+        assert errors == sorted(errors)
+
+    def test_p_ratio_curve(self, sweep):
+        curve = p_ratio_curve(sweep)
+        assert curve[0.025] == pytest.approx(1.0)
+        assert curve[0.115] < curve[0.055] < 1.0
+
+    def test_p_ratio_requires_precise_point(self, sweep):
+        with pytest.raises(ValueError):
+            p_ratio_curve(sweep[1:])
+
+    def test_halved_latency_near_t_01(self):
+        sweep = characterize([0.025, 0.1], trials=TRIALS, seed=2)
+        curve = p_ratio_curve(sweep)
+        assert curve[0.1] == pytest.approx(0.5, abs=0.05)

@@ -1,0 +1,145 @@
+"""Tests for repro.memory.config — Table-2 parameters and validation."""
+
+import math
+
+import pytest
+
+from repro.memory.config import (
+    CELLS_PER_WORD,
+    MAX_TARGET_HALF_WIDTH,
+    MLCParams,
+    PRECISE_T,
+    PRECISE_WRITE_LATENCY_NS,
+    READ_LATENCY_NS,
+    SPINTRONIC_CONFIGS,
+    SpintronicParams,
+    WORD_BITS,
+    t_sweep,
+)
+
+
+class TestTable2Defaults:
+    """The defaults must be the paper's Table-2 values."""
+
+    def test_levels(self):
+        assert MLCParams().levels == 4
+
+    def test_read_model(self):
+        params = MLCParams()
+        assert params.read_mu == 0.067
+        assert params.read_sigma == 0.027
+        assert params.elapsed_time_s == 1e5
+
+    def test_write_model(self):
+        params = MLCParams()
+        assert params.beta == 0.035
+        assert params.t == PRECISE_T == 0.025
+
+    def test_word_geometry(self):
+        assert CELLS_PER_WORD == 16
+        assert WORD_BITS == 32
+
+    def test_table1_latencies(self):
+        assert PRECISE_WRITE_LATENCY_NS == 1000.0
+        assert READ_LATENCY_NS == 50.0
+
+
+class TestMLCParamsDerived:
+    def test_bits_per_cell(self):
+        assert MLCParams().bits_per_cell == 2
+        assert MLCParams(levels=2).bits_per_cell == 1
+        assert MLCParams(levels=8).bits_per_cell == 3
+
+    def test_level_values_evenly_spaced(self):
+        values = MLCParams().level_values
+        assert values == (1 / 8, 3 / 8, 5 / 8, 7 / 8)
+
+    def test_band_half_width(self):
+        assert MLCParams().band_half_width == pytest.approx(0.125)
+
+    def test_guard_band_shrinks_with_t(self):
+        narrow = MLCParams(t=0.025).guard_band
+        wide = MLCParams(t=0.1).guard_band
+        assert narrow > wide > 0
+
+    def test_guard_band_vanishes_at_max_t(self):
+        assert MLCParams(t=MAX_TARGET_HALF_WIDTH).guard_band == pytest.approx(0.0)
+
+    def test_drift_decades(self):
+        assert MLCParams().drift_decades == pytest.approx(5.0)
+        assert MLCParams(elapsed_time_s=100.0).drift_decades == pytest.approx(2.0)
+
+    def test_with_t_changes_only_t(self):
+        base = MLCParams()
+        other = base.with_t(0.08)
+        assert other.t == 0.08
+        assert other.beta == base.beta
+        assert other.levels == base.levels
+        assert other.drift_scale == base.drift_scale
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            MLCParams().t = 0.5  # type: ignore[misc]
+
+    def test_hashable_for_caching(self):
+        assert hash(MLCParams()) == hash(MLCParams())
+        assert MLCParams(t=0.05) != MLCParams(t=0.06)
+
+
+class TestMLCParamsValidation:
+    @pytest.mark.parametrize("t", [0.0, -0.1, 0.2, 1.0])
+    def test_invalid_t_rejected(self, t):
+        with pytest.raises(ValueError):
+            MLCParams(t=t)
+
+    def test_max_t_accepted(self):
+        MLCParams(t=MAX_TARGET_HALF_WIDTH)
+
+    def test_invalid_levels_rejected(self):
+        with pytest.raises(ValueError):
+            MLCParams(levels=1)
+
+    def test_invalid_step_noise_rejected(self):
+        with pytest.raises(ValueError):
+            MLCParams(step_noise="gamma")
+
+    def test_invalid_beta_rejected(self):
+        with pytest.raises(ValueError):
+            MLCParams(beta=0.0)
+
+
+class TestSpintronicParams:
+    def test_appendix_a_configs(self):
+        savings = [c.energy_saving for c in SPINTRONIC_CONFIGS]
+        errors = [c.bit_error_rate for c in SPINTRONIC_CONFIGS]
+        assert savings == [0.05, 0.20, 0.33, 0.50]
+        assert errors == [1e-7, 1e-6, 1e-5, 1e-4]
+
+    def test_write_cost(self):
+        assert SpintronicParams(0.33, 1e-5).write_cost == pytest.approx(0.67)
+
+    @pytest.mark.parametrize("saving", [-0.1, 1.0, 1.5])
+    def test_invalid_saving_rejected(self, saving):
+        with pytest.raises(ValueError):
+            SpintronicParams(energy_saving=saving, bit_error_rate=1e-5)
+
+    @pytest.mark.parametrize("ber", [-1e-9, 1.5])
+    def test_invalid_ber_rejected(self, ber):
+        with pytest.raises(ValueError):
+            SpintronicParams(energy_saving=0.1, bit_error_rate=ber)
+
+
+class TestTSweep:
+    def test_paper_sweep(self):
+        values = t_sweep()
+        assert values[0] == 0.025
+        assert values[-1] == 0.1
+        assert len(values) == 16
+        steps = [round(b - a, 6) for a, b in zip(values, values[1:])]
+        assert all(s == 0.005 for s in steps)
+
+    def test_custom_sweep_inclusive(self):
+        assert t_sweep(0.05, 0.06, 0.005) == [0.05, 0.055, 0.06]
+
+    def test_single_point(self):
+        assert t_sweep(0.03, 0.03) == [0.03]

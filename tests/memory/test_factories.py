@@ -1,0 +1,52 @@
+"""Tests for the memory-technology factories."""
+
+import pytest
+
+from repro.memory.approx_array import ApproxArray
+from repro.memory.config import MLCParams, SpintronicParams
+from repro.memory.factories import PCMMemoryFactory, SpintronicMemoryFactory
+from repro.memory.spintronic import SpintronicArray
+from repro.memory.stats import MemoryStats
+
+from ..conftest import TEST_FIT_SAMPLES
+
+
+class TestPCMFactory:
+    def test_make_array_type_and_stats(self, pcm_sweet):
+        stats = MemoryStats()
+        array = pcm_sweet.make_array([1, 2, 3], stats=stats)
+        assert isinstance(array, ApproxArray)
+        array.write(0, 9)
+        assert stats.approx_writes == 1
+
+    def test_p_ratio_in_expected_band(self, pcm_sweet):
+        assert 0.6 < pcm_sweet.p_ratio < 0.72
+
+    def test_precise_factory_p_ratio_is_one(self, pcm_precise):
+        assert pcm_precise.p_ratio == pytest.approx(1.0)
+
+    def test_description_mentions_t(self, pcm_sweet):
+        assert "T=0.055" in pcm_sweet.description
+
+    def test_shares_cached_models(self):
+        a = PCMMemoryFactory(MLCParams(t=0.055), fit_samples=TEST_FIT_SAMPLES)
+        b = PCMMemoryFactory(MLCParams(t=0.055), fit_samples=TEST_FIT_SAMPLES)
+        assert a.model is b.model
+
+
+class TestSpintronicFactory:
+    def test_make_array_type(self, stt_33):
+        stats = MemoryStats()
+        array = stt_33.make_array([0] * 3, stats=stats)
+        assert isinstance(array, SpintronicArray)
+        array.write(0, 1)
+        assert stats.approx_write_units == pytest.approx(0.67)
+
+    def test_description(self, stt_33):
+        assert "33%" in stt_33.description
+        assert "1e-05" in stt_33.description
+
+    def test_distinct_configs(self):
+        a = SpintronicMemoryFactory(SpintronicParams(0.2, 1e-6))
+        b = SpintronicMemoryFactory(SpintronicParams(0.5, 1e-4))
+        assert a.model.write_cost != b.model.write_cost

@@ -1,0 +1,108 @@
+"""Tests for the Gray-coded cell-to-bit mapping."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.memory.config import MLCParams
+from repro.memory.error_model import WordErrorModel, get_model
+
+FIT = 6_000
+
+
+@pytest.fixture(scope="module")
+def gray_model() -> WordErrorModel:
+    return get_model(MLCParams(t=0.12), samples_per_level=FIT, encoding="gray")
+
+
+@pytest.fixture(scope="module")
+def binary_model() -> WordErrorModel:
+    return get_model(MLCParams(t=0.12), samples_per_level=FIT)
+
+
+class TestEncodingTables:
+    def test_gray_mapping_is_involution_pair(self):
+        mapping = WordErrorModel.ENCODINGS["gray"]
+        assert sorted(mapping) == [0, 1, 2, 3]
+        # Adjacent levels differ in exactly one bit.
+        for a, b in zip(mapping, mapping[1:]):
+            assert bin(a ^ b).count("1") == 1
+
+    def test_unknown_encoding_rejected(self):
+        with pytest.raises(ValueError, match="encoding"):
+            WordErrorModel(MLCParams(t=0.06), samples_per_level=500,
+                           encoding="huffman")
+
+    def test_cache_distinguishes_encodings(self):
+        a = get_model(MLCParams(t=0.09), samples_per_level=1_000)
+        b = get_model(
+            MLCParams(t=0.09), samples_per_level=1_000, encoding="gray"
+        )
+        assert a is not b
+
+
+class TestGrayBehaviour:
+    def test_same_error_rates_as_binary(self, gray_model, binary_model):
+        """The physics is identical; only the digital damage differs."""
+        assert gray_model.cell_error_rate == pytest.approx(
+            binary_model.cell_error_rate, rel=0.1
+        )
+
+    def test_same_cost_model(self, gray_model, binary_model):
+        # A word of identical cells has the same cost under both encodings
+        # once mapped to the same level: level 2 is bits 0b10 (binary) and
+        # 0b11 (gray).
+        binary_word = int("10" * 16, 2)
+        gray_word = int("11" * 16, 2)
+        assert gray_model.word_write_cost(gray_word) == pytest.approx(
+            binary_model.word_write_cost(binary_word)
+        )
+
+    def test_single_level_error_flips_one_bit_pair_member(self, gray_model):
+        """Most corruption under Gray flips exactly one bit per bad cell."""
+        rng = random.Random(0)
+        single_bit_flips = 0
+        multi_bit_flips = 0
+        for _ in range(20_000):
+            value = rng.getrandbits(32)
+            out = gray_model.corrupt_word(value, rng)
+            if out == value:
+                continue
+            for k in range(16):
+                diff = ((value ^ out) >> (2 * k)) & 3
+                if diff:
+                    if bin(diff).count("1") == 1:
+                        single_bit_flips += 1
+                    else:
+                        multi_bit_flips += 1
+        assert single_bit_flips > 10 * max(multi_bit_flips, 1)
+
+    def test_gray_errors_can_decrease_value(self, gray_model):
+        """Level 2 -> 3 drift stores 11 -> 10: the data value decreases."""
+        rng = random.Random(1)
+        word = int("11" * 16, 2)  # every cell at level 2 (gray bits 11)
+        decreased = False
+        for _ in range(5_000):
+            out = gray_model.corrupt_word(word, rng)
+            if out < word:
+                decreased = True
+                break
+        assert decreased
+
+    def test_safe_level_is_gray_coded_10(self, gray_model):
+        """Level 3 (drift-proof) stores bits 10 under Gray."""
+        rng = random.Random(2)
+        word = int("10" * 16, 2)
+        assert all(
+            gray_model.corrupt_word(word, rng) == word for _ in range(2_000)
+        )
+
+    def test_block_path_consistent(self, gray_model):
+        np_rng = np.random.default_rng(3)
+        values = np_rng.integers(0, 2**32, size=30_000, dtype=np.uint64).astype(
+            np.uint32
+        )
+        out = gray_model.corrupt_block(values, np_rng)
+        rate = float(np.mean(out != values))
+        assert rate == pytest.approx(gray_model.word_error_rate, rel=0.15)

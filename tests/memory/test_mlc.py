@@ -1,0 +1,135 @@
+"""Tests for the analog MLC cell model (WRITE/READ/quantize)."""
+
+import numpy as np
+import pytest
+
+from repro.memory.config import MLCParams
+from repro.memory.mlc import (
+    drift_read,
+    level_to_analog,
+    pv_write,
+    quantize,
+    write_then_read,
+)
+
+PARAMS = MLCParams()
+
+
+def rng(seed: int = 0) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+class TestLevelMapping:
+    def test_level_centres(self):
+        analog = level_to_analog(np.arange(4), PARAMS)
+        assert analog.tolist() == [1 / 8, 3 / 8, 5 / 8, 7 / 8]
+
+    def test_quantize_is_inverse_of_centres(self):
+        levels = np.arange(4)
+        assert quantize(level_to_analog(levels, PARAMS), PARAMS).tolist() == [
+            0, 1, 2, 3,
+        ]
+
+    def test_quantize_band_boundaries(self):
+        # Values just below a boundary quantize down; at/above, up.
+        assert quantize(np.array([0.2499]), PARAMS)[0] == 0
+        assert quantize(np.array([0.25]), PARAMS)[0] == 1
+        assert quantize(np.array([0.7499]), PARAMS)[0] == 2
+        assert quantize(np.array([0.75]), PARAMS)[0] == 3
+
+    def test_quantize_clamps_out_of_range(self):
+        assert quantize(np.array([-0.3]), PARAMS)[0] == 0
+        assert quantize(np.array([1.7]), PARAMS)[0] == 3
+
+    def test_eight_level_cell(self):
+        params = MLCParams(levels=8, t=0.05)
+        analog = level_to_analog(np.arange(8), params)
+        assert quantize(analog, params).tolist() == list(range(8))
+
+
+class TestPVWrite:
+    def test_lands_in_target_range(self):
+        levels = rng().integers(0, 4, size=5_000)
+        analog, iterations = pv_write(levels, PARAMS, rng(1))
+        targets = level_to_analog(levels, PARAMS)
+        assert np.all(np.abs(analog - targets) <= PARAMS.t + 1e-12)
+
+    def test_at_least_one_iteration(self):
+        levels = np.zeros(100, dtype=np.int64)
+        _, iterations = pv_write(levels, PARAMS, rng(2))
+        assert np.all(iterations >= 1)
+
+    def test_paper_anchor_avg_iterations(self):
+        """Avg #P ~ 2.98 at the precise configuration (paper Table 2)."""
+        levels = rng(3).integers(0, 4, size=60_000)
+        _, iterations = pv_write(levels, PARAMS, rng(3))
+        assert iterations.mean() == pytest.approx(2.98, abs=0.15)
+
+    def test_wider_target_needs_fewer_iterations(self):
+        levels = rng(4).integers(0, 4, size=20_000)
+        _, tight = pv_write(levels, MLCParams(t=0.025), rng(4))
+        _, loose = pv_write(levels, MLCParams(t=0.1), rng(4))
+        assert loose.mean() < tight.mean()
+
+    def test_halved_iterations_at_t_01(self):
+        """Paper: ~50% reduction in cell write latency at T = 0.1."""
+        levels = rng(5).integers(0, 4, size=40_000)
+        _, tight = pv_write(levels, MLCParams(t=0.025), rng(5))
+        _, loose = pv_write(levels, MLCParams(t=0.1), rng(6))
+        assert loose.mean() / tight.mean() == pytest.approx(0.5, abs=0.05)
+
+    def test_std_interpretation_converges_faster(self):
+        """The 'std' reading of the step noise yields far fewer iterations
+        (the reason the 'variance' reading is the default — DESIGN.md §3)."""
+        levels = rng(7).integers(0, 4, size=20_000)
+        _, variance = pv_write(levels, MLCParams(step_noise="variance"), rng(7))
+        _, std = pv_write(levels, MLCParams(step_noise="std"), rng(8))
+        assert std.mean() < variance.mean()
+
+    def test_respects_iteration_bound(self):
+        params = MLCParams(t=0.025, max_pv_iterations=2)
+        levels = rng(9).integers(0, 4, size=1_000)
+        _, iterations = pv_write(levels, params, rng(9))
+        assert iterations.max() <= 2
+
+
+class TestDriftRead:
+    def test_unidirectional(self):
+        """Drift only increases the analog value: levels never decrease."""
+        levels = rng(10).integers(0, 4, size=20_000)
+        analog, _ = pv_write(levels, PARAMS, rng(10))
+        observed = drift_read(analog, PARAMS, rng(11))
+        assert np.all(observed >= levels)
+
+    def test_top_level_cannot_err(self):
+        """Level 3 drifting upward clamps back to level 3."""
+        levels = np.full(20_000, 3, dtype=np.int64)
+        params = MLCParams(t=0.1)
+        analog, _ = pv_write(levels, params, rng(12))
+        observed = drift_read(analog, params, rng(13))
+        assert np.all(observed == 3)
+
+    def test_precise_configuration_is_nearly_error_free(self):
+        levels = rng(14).integers(0, 4, size=100_000)
+        observed, _ = write_then_read(levels, PARAMS, rng(14))
+        assert np.mean(observed != levels) < 1e-4
+
+    def test_no_guard_band_is_error_prone(self):
+        params = MLCParams(t=0.124)
+        levels = rng(15).integers(0, 3, size=20_000)  # exclude safe level 3
+        observed, _ = write_then_read(levels, params, rng(15))
+        assert np.mean(observed != levels) > 0.02
+
+    def test_zero_drift_scale_is_exact(self):
+        params = MLCParams(t=0.1, drift_scale=0.0)
+        levels = rng(16).integers(0, 4, size=5_000)
+        observed, _ = write_then_read(levels, params, rng(16))
+        assert np.array_equal(observed, levels)
+
+    def test_error_rate_grows_with_t(self):
+        levels = rng(17).integers(0, 4, size=40_000)
+        rates = []
+        for t in (0.055, 0.085, 0.115):
+            observed, _ = write_then_read(levels, MLCParams(t=t), rng(18))
+            rates.append(float(np.mean(observed != levels)))
+        assert rates[0] < rates[1] < rates[2]

@@ -1,0 +1,128 @@
+"""Tests for the bit-priority word error model."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.memory.config import CELLS_PER_WORD, MLCParams
+from repro.memory.priority import (
+    PriorityPCMMemoryFactory,
+    PriorityWordErrorModel,
+    equal_cost_priority_profile,
+    solve_relaxed_t,
+)
+
+FIT = 4_000
+
+
+@pytest.fixture(scope="module")
+def protected_top_model() -> PriorityWordErrorModel:
+    """Top 8 cells precise, bottom 8 heavily approximate."""
+    profile = [0.12] * 8 + [0.025] * 8
+    return PriorityWordErrorModel(profile, samples_per_level=FIT)
+
+
+class TestConstruction:
+    def test_profile_length_enforced(self):
+        with pytest.raises(ValueError):
+            PriorityWordErrorModel([0.05] * 15, samples_per_level=500)
+
+    def test_uniform_profile_matches_uniform_model(self):
+        from repro.memory.error_model import get_model
+
+        uniform = get_model(MLCParams(t=0.07), samples_per_level=FIT)
+        priority = PriorityWordErrorModel([0.07] * 16, samples_per_level=FIT)
+        assert priority.avg_word_iterations == pytest.approx(
+            uniform.avg_word_iterations, rel=0.05
+        )
+        assert priority.word_error_rate == pytest.approx(
+            uniform.word_error_rate, rel=0.3
+        )
+
+    def test_cost_is_cellwise_average(self, protected_top_model):
+        # A word of all-zero bits: cells at level 0; cost mixes the two Ts.
+        cost = protected_top_model.word_write_cost(0)
+        assert 1.0 < cost < 3.5
+
+
+class TestCorruptionLocality:
+    def test_errors_confined_to_relaxed_cells(self, protected_top_model):
+        """With the top cells precise, corruption stays in the low bits."""
+        rng = random.Random(0)
+        for _ in range(4_000):
+            value = rng.getrandbits(32)
+            out = protected_top_model.corrupt_word(value, rng)
+            # Top 8 cells = bits 16..31 must be untouched (their T=0.025
+            # error rate is ~1e-6; none expected in 4000 trials).
+            assert (out >> 16) == (value >> 16)
+
+    def test_relaxed_cells_do_corrupt(self, protected_top_model):
+        rng = random.Random(1)
+        corrupted = 0
+        for _ in range(3_000):
+            value = rng.getrandbits(32)
+            if protected_top_model.corrupt_word(value, rng) != value:
+                corrupted += 1
+        assert corrupted > 100  # bottom cells at T=0.12 err frequently
+
+    def test_block_matches_scalar_distribution(self, protected_top_model):
+        np_rng = np.random.default_rng(2)
+        values = np_rng.integers(0, 2**32, size=20_000, dtype=np.uint64).astype(
+            np.uint32
+        )
+        out = protected_top_model.corrupt_block(values, np_rng)
+        assert np.all((out >> np.uint32(16)) == (values >> np.uint32(16)))
+        rate = float(np.mean(out != values))
+        assert rate == pytest.approx(
+            protected_top_model.word_error_rate, rel=0.25
+        )
+
+    def test_block_cost_matches_scalar(self, protected_top_model):
+        values = np.array([0, 0xFFFFFFFF, 0x12345678], dtype=np.uint32)
+        block = protected_top_model.block_write_cost(values)
+        scalar = [
+            protected_top_model.word_write_cost(int(v)) for v in values
+        ]
+        assert np.allclose(block, scalar)
+
+
+class TestCalibration:
+    def test_solve_relaxed_t_monotone_inverse(self):
+        t = solve_relaxed_t(2.0, samples_per_level=FIT)
+        assert 0.04 < t < 0.08  # avg #P = 2.0 lands near T ~ 0.055
+
+    def test_equal_cost_profile_matches_budget(self):
+        profile = equal_cost_priority_profile(
+            0.055, protected_cells=4, samples_per_level=FIT
+        )
+        assert len(profile) == CELLS_PER_WORD
+        assert profile[-4:] == [0.025] * 4
+        model = PriorityWordErrorModel(profile, samples_per_level=FIT)
+        from repro.memory.error_model import get_model
+
+        uniform = get_model(MLCParams(t=0.055), samples_per_level=FIT)
+        assert model.avg_word_iterations == pytest.approx(
+            uniform.avg_word_iterations, rel=0.05
+        )
+
+    def test_zero_protected_is_uniform(self):
+        profile = equal_cost_priority_profile(
+            0.06, protected_cells=0, samples_per_level=FIT
+        )
+        assert profile == [0.06] * CELLS_PER_WORD
+
+    def test_invalid_protected_count(self):
+        with pytest.raises(ValueError):
+            equal_cost_priority_profile(0.06, protected_cells=17)
+
+
+class TestFactory:
+    def test_factory_roundtrip(self):
+        profile = [0.1] * 12 + [0.025] * 4
+        factory = PriorityPCMMemoryFactory(profile, fit_samples=FIT)
+        array = factory.make_array([0] * 10, seed=3)
+        array.write_block(0, list(range(10)))
+        assert len(array.to_list()) == 10
+        assert 0 < factory.p_ratio <= 1.05
+        assert "priority" in factory.description

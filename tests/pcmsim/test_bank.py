@@ -1,0 +1,115 @@
+"""Tests for the PCM bank's posted writes, queue limits and read priority."""
+
+import pytest
+
+from repro.pcmsim.bank import PCMBank
+
+WL = 1000.0  # write latency used throughout
+RL = 50.0
+
+
+class TestPostedWrites:
+    def test_posted_write_is_free_until_queue_full(self):
+        bank = PCMBank(write_queue_capacity=4)
+        for i in range(4):
+            assert bank.post_write(now=0.0, latency_ns=WL) == 0.0
+
+    def test_stall_when_queue_full(self):
+        bank = PCMBank(write_queue_capacity=2)
+        bank.post_write(0.0, WL)
+        bank.post_write(0.0, WL)
+        stall = bank.post_write(0.0, WL)
+        assert stall > 0.0
+        assert bank.stats.write_stall_ns == stall
+
+    def test_background_drain_frees_slots(self):
+        bank = PCMBank(write_queue_capacity=2)
+        bank.post_write(0.0, WL)
+        bank.post_write(0.0, WL)
+        # By t = 2500 both queued writes have retired; no stall.
+        assert bank.post_write(2 * WL + 500, WL) == 0.0
+        assert bank.queued_writes == 1
+
+    def test_queue_occupancy_never_exceeds_capacity(self):
+        bank = PCMBank(write_queue_capacity=3)
+        for _ in range(20):
+            bank.post_write(0.0, WL)
+            assert bank.queued_writes <= 3
+        assert bank.stats.max_write_queue <= 3
+
+    def test_write_count(self):
+        bank = PCMBank(write_queue_capacity=8)
+        for _ in range(5):
+            bank.post_write(0.0, WL)
+        assert bank.stats.writes == 5
+
+
+class TestReadPriority:
+    def test_read_on_idle_bank_takes_device_latency(self):
+        bank = PCMBank(write_queue_capacity=4)
+        assert bank.service_read(0.0, RL) == pytest.approx(RL)
+
+    def test_read_waits_only_for_inflight_write(self):
+        bank = PCMBank(write_queue_capacity=8)
+        for _ in range(5):
+            bank.post_write(0.0, WL)
+        # At t=100 the first write is in flight (completes at 1000); a read
+        # must wait for it but jump ahead of the other 4 queued writes.
+        latency = bank.service_read(100.0, RL)
+        assert latency == pytest.approx((WL - 100.0) + RL)
+        assert bank.queued_writes == 4  # queued writes were NOT drained first
+
+    def test_read_after_queue_drained(self):
+        bank = PCMBank(write_queue_capacity=8)
+        bank.post_write(0.0, WL)
+        latency = bank.service_read(5 * WL, RL)
+        assert latency == pytest.approx(RL)
+
+    def test_reads_never_starve(self):
+        """Even a continuously full write queue cannot delay a read by more
+        than one in-flight write."""
+        bank = PCMBank(write_queue_capacity=32)
+        for _ in range(32):
+            bank.post_write(0.0, WL)
+        latency = bank.service_read(0.0, RL)
+        assert latency <= WL + RL
+
+    def test_read_wait_accounted(self):
+        bank = PCMBank(write_queue_capacity=4)
+        bank.post_write(0.0, WL)
+        # The write starts as soon as the bank is idle; a read at t = 100
+        # waits for its completion at t = 1000.
+        bank.service_read(100.0, RL)
+        assert bank.stats.read_wait_ns == pytest.approx(WL - 100.0)
+
+    def test_read_at_post_instant_jumps_queue(self):
+        """A read arriving at the same instant as a posted write goes first
+        (read priority): the queued write has not entered the device yet."""
+        bank = PCMBank(write_queue_capacity=4)
+        bank.post_write(0.0, WL)
+        assert bank.service_read(0.0, RL) == pytest.approx(RL)
+
+
+class TestFlush:
+    def test_flush_completes_queue(self):
+        bank = PCMBank(write_queue_capacity=8)
+        for _ in range(5):
+            bank.post_write(0.0, WL)
+        done = bank.flush(0.0)
+        assert done == pytest.approx(5 * WL)
+        assert bank.queued_writes == 0
+
+    def test_flush_idle_bank_returns_now(self):
+        bank = PCMBank(write_queue_capacity=2)
+        assert bank.flush(123.0) == 123.0
+
+    def test_busy_time_accumulates(self):
+        bank = PCMBank(write_queue_capacity=8)
+        for _ in range(3):
+            bank.post_write(0.0, WL)
+        bank.flush(0.0)
+        assert bank.stats.busy_ns == pytest.approx(3 * WL)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PCMBank(write_queue_capacity=0)

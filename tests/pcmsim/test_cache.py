@@ -1,0 +1,105 @@
+"""Tests for the set-associative LRU write-through caches."""
+
+import pytest
+
+from repro.pcmsim.cache import CacheHierarchy, SetAssociativeCache
+from repro.pcmsim.config import CacheConfig
+
+
+def tiny_cache(ways=2, sets=2, line=64):
+    config = CacheConfig(
+        size_bytes=ways * sets * line, ways=ways, line_bytes=line,
+        hit_latency_ns=1.0,
+    )
+    return SetAssociativeCache(config)
+
+
+class TestReads:
+    def test_cold_miss_then_hit(self):
+        cache = tiny_cache()
+        assert cache.read(0) is False
+        assert cache.read(0) is True
+        assert cache.read(32) is True  # same 64-byte line
+
+    def test_distinct_lines_miss(self):
+        cache = tiny_cache()
+        cache.read(0)
+        assert cache.read(64) is False
+
+    def test_lru_eviction_order(self):
+        cache = tiny_cache(ways=2, sets=1)
+        cache.read(0)      # line 0
+        cache.read(64)     # line 1
+        cache.read(0)      # refresh line 0
+        cache.read(128)    # line 2 evicts line 1 (LRU)
+        assert cache.read(0) is True
+        assert cache.read(64) is False
+
+    def test_set_indexing_isolates_sets(self):
+        cache = tiny_cache(ways=1, sets=2)
+        cache.read(0)    # set 0
+        cache.read(64)   # set 1
+        assert cache.read(0) is True  # not evicted by the set-1 line
+
+    def test_hit_rate(self):
+        cache = tiny_cache()
+        cache.read(0)
+        cache.read(0)
+        cache.read(0)
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+
+class TestWrites:
+    def test_write_does_not_allocate(self):
+        cache = tiny_cache()
+        assert cache.write(0) is False
+        assert cache.read(0) is False  # still not present
+
+    def test_write_hits_resident_line(self):
+        cache = tiny_cache()
+        cache.read(0)
+        assert cache.write(0) is True
+
+    def test_write_refreshes_lru(self):
+        cache = tiny_cache(ways=2, sets=1)
+        cache.read(0)
+        cache.read(64)
+        cache.write(0)       # refresh 0
+        cache.read(128)      # evicts 64
+        assert cache.read(0) is True
+        assert cache.read(64) is False
+
+
+class TestHierarchy:
+    def make(self):
+        l1 = tiny_cache(ways=1, sets=1)
+        l2 = tiny_cache(ways=2, sets=1)
+        l3 = tiny_cache(ways=2, sets=2)
+        return CacheHierarchy(l1, l2, l3)
+
+    def test_read_miss_reaches_memory(self):
+        hierarchy = self.make()
+        latency, to_memory = hierarchy.read(0)
+        assert to_memory is True
+        assert latency == pytest.approx(3.0)  # all three levels probed
+
+    def test_read_hit_stops_at_l1(self):
+        hierarchy = self.make()
+        hierarchy.read(0)
+        latency, to_memory = hierarchy.read(0)
+        assert to_memory is False
+        assert latency == pytest.approx(1.0)
+
+    def test_l1_eviction_falls_to_l2(self):
+        hierarchy = self.make()
+        hierarchy.read(0)
+        hierarchy.read(64)  # evicts line 0 from the 1-entry L1, not L2
+        latency, to_memory = hierarchy.read(0)
+        assert to_memory is False
+        assert latency == pytest.approx(2.0)
+
+    def test_write_always_continues(self):
+        hierarchy = self.make()
+        hierarchy.read(0)
+        latency = hierarchy.write(0)
+        assert latency == pytest.approx(3.0)  # write-through touches all

@@ -1,0 +1,71 @@
+"""Tests asserting the Table-1 configuration (the paper's Table 1)."""
+
+import pytest
+
+from repro.pcmsim.config import (
+    CacheConfig,
+    GB,
+    KB,
+    MB,
+    PCMConfig,
+    SimulatorConfig,
+    TABLE1_CONFIG,
+)
+
+
+class TestTable1:
+    """Every Table-1 parameter, asserted."""
+
+    def test_l1(self):
+        assert TABLE1_CONFIG.l1.size_bytes == 32 * KB
+
+    def test_l2(self):
+        assert TABLE1_CONFIG.l2.size_bytes == 2 * MB
+        assert TABLE1_CONFIG.l2.ways == 4
+
+    def test_l3(self):
+        assert TABLE1_CONFIG.l3.size_bytes == 32 * MB
+        assert TABLE1_CONFIG.l3.ways == 8
+        assert TABLE1_CONFIG.l3.hit_latency_ns == 10.0
+
+    def test_memory_geometry(self):
+        pcm = TABLE1_CONFIG.pcm
+        assert pcm.capacity_bytes == 8 * GB
+        assert pcm.page_bytes == 4 * KB
+        assert pcm.ranks == 4
+        assert pcm.banks_per_rank == 8
+        assert pcm.num_banks == 32
+
+    def test_queues(self):
+        pcm = TABLE1_CONFIG.pcm
+        assert pcm.write_queue_entries == 32
+        assert pcm.read_queue_entries == 8
+
+    def test_precise_latencies(self):
+        pcm = TABLE1_CONFIG.pcm
+        assert pcm.read_latency_ns == 50.0
+        assert pcm.write_latency_ns == 1000.0
+
+
+class TestValidation:
+    def test_cache_geometry_must_divide(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, ways=3, line_bytes=64)
+
+    def test_cache_positive_values(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0, ways=1)
+
+    def test_num_sets(self):
+        config = CacheConfig(size_bytes=32 * KB, ways=8, line_bytes=64)
+        assert config.num_sets == 64
+
+    def test_pcm_validation(self):
+        with pytest.raises(ValueError):
+            PCMConfig(ranks=0)
+        with pytest.raises(ValueError):
+            PCMConfig(write_queue_entries=0)
+
+    def test_approx_factor_validation(self):
+        with pytest.raises(ValueError):
+            SimulatorConfig(approx_write_factor=0.0)

@@ -1,0 +1,91 @@
+"""Tests for trace records, capture, and synthetic generators."""
+
+import pytest
+
+from repro.memory.approx_array import PreciseArray
+from repro.pcmsim.trace import (
+    ELEMENT_BYTES,
+    TraceEvent,
+    TraceRecorder,
+    interleave,
+    sequential_write_trace,
+    strided_trace,
+)
+
+
+class TestTraceEvent:
+    def test_valid(self):
+        event = TraceEvent("R", "precise", 64)
+        assert event.op == "R"
+        assert event.address == 64
+
+    def test_invalid_op(self):
+        with pytest.raises(ValueError):
+            TraceEvent("X", "precise", 0)
+
+    def test_negative_address(self):
+        with pytest.raises(ValueError):
+            TraceEvent("W", "approx", -4)
+
+
+class TestTraceRecorder:
+    def test_captures_array_accesses(self):
+        recorder = TraceRecorder()
+        array = PreciseArray(
+            [1, 2, 3], trace=recorder.hook_for("keys", "precise")
+        )
+        array.read(0)
+        array.write(2, 9)
+        assert len(recorder) == 2
+        events = list(recorder)
+        assert events[0].op == "R"
+        assert events[1].op == "W"
+        assert events[1].address - events[0].address == 2 * ELEMENT_BYTES
+
+    def test_regions_are_disjoint(self):
+        recorder = TraceRecorder()
+        precise_hook = recorder.hook_for("ids", "precise")
+        approx_hook = recorder.hook_for("keys", "approx")
+        precise_hook("R", "precise", 0)
+        approx_hook("R", "approx", 0)
+        a, b = recorder.events
+        assert a.address != b.address
+        assert abs(a.address - b.address) >= 2**20
+
+    def test_two_arrays_same_region_disjoint_bases(self):
+        recorder = TraceRecorder()
+        hook_a = recorder.hook_for("a", "precise")
+        hook_b = recorder.hook_for("b", "precise")
+        hook_a("W", "precise", 0)
+        hook_b("W", "precise", 0)
+        a, b = recorder.events
+        assert a.address != b.address
+
+    def test_same_array_stable_base(self):
+        recorder = TraceRecorder()
+        hook_1 = recorder.hook_for("a", "precise")
+        hook_2 = recorder.hook_for("a", "precise")
+        hook_1("W", "precise", 3)
+        hook_2("W", "precise", 3)
+        a, b = recorder.events
+        assert a.address == b.address
+
+
+class TestSyntheticTraces:
+    def test_sequential_writes(self):
+        trace = sequential_write_trace(4, region="approx", start=100)
+        assert [e.address for e in trace] == [100, 104, 108, 112]
+        assert all(e.op == "W" and e.region == "approx" for e in trace)
+
+    def test_strided(self):
+        trace = strided_trace(3, stride_bytes=128, op="R")
+        assert [e.address for e in trace] == [0, 128, 256]
+
+    def test_interleave_round_robin(self):
+        a = sequential_write_trace(2, start=0)
+        b = sequential_write_trace(3, start=1000)
+        merged = interleave(a, b)
+        assert [e.address for e in merged] == [0, 1000, 4, 1004, 1008]
+
+    def test_interleave_empty(self):
+        assert interleave([], []) == []

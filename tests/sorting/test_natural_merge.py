@@ -1,0 +1,97 @@
+"""Natural mergesort tests: adaptivity and write bounds."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.approx_array import PreciseArray
+from repro.memory.stats import MemoryStats
+from repro.metrics.sortedness import runs as count_runs
+from repro.sorting.natural_merge import NaturalMergesort
+from repro.workloads.generators import (
+    almost_sorted_keys,
+    runs_keys,
+    uniform_keys,
+)
+
+
+def run(keys, with_ids=False):
+    stats = MemoryStats()
+    array = PreciseArray(keys, stats=stats)
+    ids = PreciseArray(range(len(keys)), stats=stats) if with_ids else None
+    NaturalMergesort().sort(array, ids)
+    return array.to_list(), (ids.to_list() if with_ids else None), stats
+
+
+class TestCorrectness:
+    def test_sorts_random(self):
+        keys = uniform_keys(800, seed=1)
+        out, _, _ = run(keys)
+        assert out == sorted(keys)
+
+    def test_stability(self):
+        keys = [5, 3, 5, 3, 5]
+        out, ids, _ = run(keys, with_ids=True)
+        assert out == [3, 3, 5, 5, 5]
+        assert ids == [1, 3, 0, 2, 4]
+
+    def test_tiny_inputs(self):
+        assert run([])[0] == []
+        assert run([7])[0] == [7]
+        assert run([9, 1])[0] == [1, 9]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2**32 - 1), max_size=120))
+    def test_property_sorts_anything(self, keys):
+        out, _, _ = run(keys)
+        assert out == sorted(keys)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), max_size=80),
+    )
+    def test_ids_track_keys(self, keys):
+        out, ids, _ = run(keys, with_ids=True)
+        assert [keys[i] for i in ids] == out
+
+
+class TestAdaptivity:
+    def test_sorted_input_costs_zero_writes(self):
+        keys = sorted(uniform_keys(500, seed=2))
+        _, _, stats = run(keys)
+        assert stats.precise_writes == 0
+
+    def test_write_bound_tracks_run_count(self):
+        """Key writes = n * ceil(log2 Runs) exactly (plus copy-home)."""
+        for run_count in (2, 4, 8, 32):
+            keys = runs_keys(1_024, seed=3, run_count=run_count)
+            actual_runs = count_runs(keys)
+            _, _, stats = run(keys)
+            passes = math.ceil(math.log2(actual_runs))
+            # Keys only (no ids): n writes per pass + possible copy-home.
+            assert stats.precise_writes in (
+                passes * 1_024,
+                (passes + 1) * 1_024,
+            )
+
+    def test_cheaper_than_classic_mergesort_on_presorted(self):
+        from repro.sorting.mergesort import Mergesort
+
+        keys = almost_sorted_keys(1_000, seed=4, swap_fraction=0.005)
+        _, _, natural_stats = run(keys)
+        classic_stats = MemoryStats()
+        Mergesort().sort(PreciseArray(keys, stats=classic_stats))
+        assert natural_stats.precise_writes < classic_stats.precise_writes
+
+    def test_equivalent_to_classic_on_reverse_input(self):
+        """Reverse-sorted input has n runs: no adaptivity left."""
+        keys = list(range(512, 0, -1))
+        _, _, stats = run(keys)
+        assert stats.precise_writes >= 9 * 512  # ceil(log2 512) passes
+
+    def test_alpha_estimates(self):
+        sorter = NaturalMergesort()
+        assert sorter.expected_key_writes(1) == 0.0
+        assert sorter.expected_writes_for_runs(1000, 1) == 0.0
+        assert sorter.expected_writes_for_runs(1000, 4) == 2000.0

@@ -1,0 +1,76 @@
+"""Quicksort-specific tests: pivots, partition bounds, write counts."""
+
+import pytest
+
+from repro.memory.approx_array import PreciseArray
+from repro.memory.stats import MemoryStats
+from repro.sorting.base import nlog2n
+from repro.sorting.quicksort import Quicksort
+from repro.workloads.generators import uniform_keys
+
+
+def run(keys, seed=0):
+    stats = MemoryStats()
+    array = PreciseArray(keys, stats=stats)
+    Quicksort(seed=seed).sort(array)
+    return array.to_list(), stats
+
+
+class TestQuicksort:
+    def test_name(self):
+        assert Quicksort().name == "quicksort"
+
+    def test_sorts(self):
+        keys = uniform_keys(1_000, seed=1)
+        out, _ = run(keys)
+        assert out == sorted(keys)
+
+    def test_pivot_seed_changes_access_pattern_not_result(self):
+        keys = uniform_keys(500, seed=2)
+        out_a, stats_a = run(keys, seed=1)
+        out_b, stats_b = run(keys, seed=2)
+        assert out_a == out_b == sorted(keys)
+        # Different pivots -> different numbers of swaps (overwhelmingly).
+        assert stats_a.precise_writes != stats_b.precise_writes
+
+    def test_alpha_formula(self):
+        assert Quicksort().expected_key_writes(1024) == pytest.approx(
+            nlog2n(1024) / 2
+        )
+        assert Quicksort().expected_key_writes(1) == 0.0
+
+    def test_write_count_near_alpha_on_random_input(self):
+        n = 4_000
+        keys = uniform_keys(n, seed=3)
+        _, stats = run(keys)
+        alpha = Quicksort().expected_key_writes(n)
+        # Hoare partitioning's constant varies; same order of magnitude.
+        assert 0.3 * alpha < stats.precise_writes < 2.0 * alpha
+
+    def test_adversarial_inputs_terminate(self):
+        # Organ-pipe, all-equal and sawtooth inputs are classic quicksort
+        # killers; randomized pivots plus the guarded partition must cope.
+        n = 800
+        organ_pipe = list(range(n // 2)) + list(range(n // 2 - 1, -1, -1))
+        sawtooth = [i % 7 for i in range(n)]
+        for keys in (organ_pipe, sawtooth, [5] * n):
+            out, _ = run(keys)
+            assert out == sorted(keys)
+
+    def test_heavy_corruption_terminates(self, pcm_aggressive):
+        keys = uniform_keys(1_000, seed=4)
+        array = pcm_aggressive.make_array([0] * len(keys), seed=6)
+        array.write_block(0, keys)
+        Quicksort(seed=1).sort(array)  # must not hang or index out of range
+        assert len(array.to_list()) == len(keys)
+
+    def test_no_reads_or_writes_out_of_bounds(self):
+        """Trace every access and check index bounds."""
+        keys = uniform_keys(300, seed=5)
+        indices = []
+        array = PreciseArray(
+            keys, trace=lambda op, region, index: indices.append(index)
+        )
+        Quicksort(seed=2).sort(array)
+        assert min(indices) >= 0
+        assert max(indices) < len(keys)

@@ -1,0 +1,156 @@
+"""Queue-bucket LSD/MSD radix sort tests: digit plans, passes, stability."""
+
+import pytest
+
+from repro.memory.approx_array import PreciseArray
+from repro.memory.stats import MemoryStats
+from repro.sorting.radix import (
+    LSDRadixSort,
+    MSDRadixSort,
+    lsd_digit_plan,
+    msd_digit_plan,
+)
+from repro.workloads.generators import uniform_keys
+
+
+class TestDigitPlans:
+    @pytest.mark.parametrize(
+        "bits,passes", [(3, 11), (4, 8), (5, 7), (6, 6), (8, 4), (16, 2)]
+    )
+    def test_lsd_pass_counts(self, bits, passes):
+        """Paper Section 3.1: 3/4/5/6-bit give 11/8/7/6 passes."""
+        assert len(lsd_digit_plan(bits)) == passes
+
+    def test_lsd_plan_covers_all_bits_disjointly(self):
+        for bits in (3, 5, 6, 7):
+            covered = 0
+            for shift, mask in lsd_digit_plan(bits):
+                chunk = mask << shift
+                assert covered & chunk == 0
+                covered |= chunk
+            assert covered == 0xFFFFFFFF
+
+    def test_msd_plan_covers_all_bits_disjointly(self):
+        for bits in (3, 5, 6, 7):
+            covered = 0
+            for shift, mask in msd_digit_plan(bits):
+                chunk = mask << shift
+                assert covered & chunk == 0
+                covered |= chunk
+            assert covered == 0xFFFFFFFF
+
+    def test_msd_starts_at_top(self):
+        plan = msd_digit_plan(6)
+        assert plan[0] == (26, 0b111111)
+        assert plan[-1] == (0, 0b11)
+
+    def test_lsd_starts_at_bottom(self):
+        plan = lsd_digit_plan(6)
+        assert plan[0] == (0, 0b111111)
+        assert plan[-1] == (30, 0b11)
+
+    @pytest.mark.parametrize("bits", [0, -1, 33])
+    def test_invalid_widths_rejected(self, bits):
+        with pytest.raises(ValueError):
+            lsd_digit_plan(bits)
+        with pytest.raises(ValueError):
+            msd_digit_plan(bits)
+
+
+def run(sorter, keys, with_ids=False):
+    stats = MemoryStats()
+    array = PreciseArray(keys, stats=stats)
+    ids = PreciseArray(range(len(keys)), stats=stats) if with_ids else None
+    sorter.sort(array, ids)
+    return array.to_list(), (ids.to_list() if with_ids else None), stats
+
+
+class TestLSD:
+    @pytest.mark.parametrize("bits", [3, 4, 5, 6])
+    def test_sorts(self, bits):
+        keys = uniform_keys(600, seed=1)
+        out, _, _ = run(LSDRadixSort(bits=bits), keys)
+        assert out == sorted(keys)
+
+    def test_name(self):
+        assert LSDRadixSort(bits=5).name == "lsd5"
+
+    def test_stability(self):
+        keys = [7, 3, 7, 3]
+        out, ids, _ = run(LSDRadixSort(bits=4), keys, with_ids=True)
+        assert out == [3, 3, 7, 7]
+        assert ids == [1, 3, 0, 2]
+
+    def test_exact_write_count(self):
+        """Two key writes per element per pass (queue append + copy-back)."""
+        n = 500
+        keys = uniform_keys(n, seed=2)
+        for bits, passes in ((3, 11), (6, 6)):
+            _, _, stats = run(LSDRadixSort(bits=bits), keys)
+            assert stats.precise_writes == 2 * passes * n
+
+    def test_alpha_matches_measured(self):
+        n = 400
+        keys = uniform_keys(n, seed=3)
+        sorter = LSDRadixSort(bits=4)
+        _, _, stats = run(sorter, keys)
+        assert stats.precise_writes == sorter.expected_key_writes(n)
+
+    def test_low_bit_errors_do_not_propagate(self, pcm_sweet):
+        """Section 3.5: LSD tolerates imprecision in already-processed
+        digits — its Rem tracks its error rate instead of amplifying."""
+        from repro.metrics.sortedness import rem_ratio
+        from repro.metrics.sortedness import error_rate_multiset
+
+        keys = uniform_keys(3_000, seed=4)
+        array = pcm_sweet.make_array([0] * len(keys), seed=8)
+        array.write_block(0, keys)
+        LSDRadixSort(bits=6).sort(array)
+        out = array.to_list()
+        assert rem_ratio(out) < 3 * max(
+            error_rate_multiset(keys, out), 1e-4
+        )
+
+
+class TestMSD:
+    @pytest.mark.parametrize("bits", [3, 4, 5, 6])
+    def test_sorts(self, bits):
+        keys = uniform_keys(600, seed=5)
+        out, _, _ = run(MSDRadixSort(bits=bits), keys)
+        assert out == sorted(keys)
+
+    def test_name(self):
+        assert MSDRadixSort(bits=3).name == "msd3"
+
+    def test_msd_is_not_stable_requirement_free(self):
+        """MSD with full digit coverage still sorts duplicates correctly."""
+        keys = [9, 9, 1, 1, 9]
+        out, ids, _ = run(MSDRadixSort(bits=6), keys, with_ids=True)
+        assert out == [1, 1, 9, 9, 9]
+        assert sorted(ids) == [0, 1, 2, 3, 4]
+
+    def test_writes_fewer_than_lsd_on_uniform_keys(self):
+        """Uniform data: MSD recursion bottoms out early, LSD always runs
+        every pass — MSD writes less (the Fig-11 ordering)."""
+        n = 2_000
+        keys = uniform_keys(n, seed=6)
+        _, _, lsd_stats = run(LSDRadixSort(bits=6), keys)
+        _, _, msd_stats = run(MSDRadixSort(bits=6), keys)
+        assert msd_stats.precise_writes < lsd_stats.precise_writes
+
+    def test_singleton_segments_not_rewritten(self):
+        """Already-distinct top digits: only one level of writes."""
+        # 64 keys with distinct 6-bit top digits, shuffled.
+        keys = [(i << 26) | 12345 for i in range(64)]
+        keys = keys[::2] + keys[1::2]
+        n = len(keys)
+        _, _, stats = run(MSDRadixSort(bits=6), keys)
+        assert stats.precise_writes == 2 * n  # one partition pass only
+
+    def test_deep_recursion_on_identical_prefixes(self):
+        """Keys equal in every digit must not recurse unboundedly."""
+        keys = [0xABCD1234] * 300
+        out, _, stats = run(MSDRadixSort(bits=3), keys)
+        assert out == keys
+        # Every level rewrites the (single) segment: bounded by plan length.
+        assert stats.precise_writes <= 2 * 11 * len(keys)

@@ -1,0 +1,90 @@
+"""Histogram-based (Appendix-B) radix sort tests."""
+
+import math
+
+import pytest
+
+from repro.memory.approx_array import PreciseArray
+from repro.memory.stats import MemoryStats
+from repro.sorting.radix_histogram import (
+    HistogramLSDRadixSort,
+    HistogramMSDRadixSort,
+)
+from repro.workloads.generators import uniform_keys
+
+
+def run(sorter, keys, with_ids=False):
+    stats = MemoryStats()
+    array = PreciseArray(keys, stats=stats)
+    ids = PreciseArray(range(len(keys)), stats=stats) if with_ids else None
+    sorter.sort(array, ids)
+    return array.to_list(), (ids.to_list() if with_ids else None), stats
+
+
+class TestHistogramLSD:
+    @pytest.mark.parametrize("bits", [3, 4, 5, 6])
+    def test_sorts(self, bits):
+        keys = uniform_keys(600, seed=1)
+        out, _, _ = run(HistogramLSDRadixSort(bits=bits), keys)
+        assert out == sorted(keys)
+
+    def test_name(self):
+        assert HistogramLSDRadixSort(bits=6).name == "hlsd6"
+
+    def test_stability(self):
+        keys = [7, 3, 7, 3]
+        out, ids, _ = run(HistogramLSDRadixSort(bits=4), keys, with_ids=True)
+        assert out == [3, 3, 7, 7]
+        assert ids == [1, 3, 0, 2]
+
+    @pytest.mark.parametrize("bits,passes", [(4, 8), (6, 6)])
+    def test_one_write_per_element_per_even_pass_count(self, bits, passes):
+        n = 500
+        keys = uniform_keys(n, seed=2)
+        _, _, stats = run(HistogramLSDRadixSort(bits=bits), keys)
+        assert stats.precise_writes == passes * n  # even passes: no copy-home
+
+    def test_odd_pass_count_adds_copy_home(self):
+        n = 400
+        keys = uniform_keys(n, seed=3)
+        _, _, stats = run(HistogramLSDRadixSort(bits=3), keys)  # 11 passes
+        assert stats.precise_writes == 12 * n
+
+    def test_alpha_matches_measured(self):
+        n = 300
+        keys = uniform_keys(n, seed=4)
+        for bits in (3, 6):
+            sorter = HistogramLSDRadixSort(bits=bits)
+            _, _, stats = run(sorter, keys)
+            assert stats.precise_writes == sorter.expected_key_writes(n)
+
+
+class TestHistogramMSD:
+    @pytest.mark.parametrize("bits", [3, 4, 5, 6])
+    def test_sorts(self, bits):
+        keys = uniform_keys(600, seed=5)
+        out, _, _ = run(HistogramMSDRadixSort(bits=bits), keys)
+        assert out == sorted(keys)
+
+    def test_name(self):
+        assert HistogramMSDRadixSort(bits=4).name == "hmsd4"
+
+    def test_halves_queue_scheme_writes(self):
+        """The Appendix-B property: one write/element/level vs two."""
+        from repro.sorting.radix import MSDRadixSort
+
+        n = 1_500
+        keys = uniform_keys(n, seed=6)
+        _, _, queue_stats = run(MSDRadixSort(bits=6), keys)
+        _, _, hist_stats = run(HistogramMSDRadixSort(bits=6), keys)
+        assert hist_stats.precise_writes == queue_stats.precise_writes // 2
+
+    def test_ids_follow_keys(self):
+        keys = uniform_keys(300, seed=7)
+        out, ids, _ = run(HistogramMSDRadixSort(bits=5), keys, with_ids=True)
+        assert [keys[i] for i in ids] == out
+
+    def test_duplicates(self):
+        keys = [3] * 50 + [1] * 50
+        out, _, _ = run(HistogramMSDRadixSort(bits=6), keys)
+        assert out == sorted(keys)

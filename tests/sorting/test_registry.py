@@ -1,0 +1,50 @@
+"""Registry tests: names, factories, kwargs forwarding."""
+
+import pytest
+
+from repro.sorting.mergesort import Mergesort
+from repro.sorting.quicksort import Quicksort
+from repro.sorting.radix import LSDRadixSort
+from repro.sorting.registry import available_sorters, make_sorter
+
+
+class TestRegistry:
+    def test_all_expected_names_present(self):
+        names = available_sorters()
+        expected = {"quicksort", "mergesort", "insertion", "natural_merge"}
+        for bits in (3, 4, 5, 6):
+            expected.update(
+                {f"lsd{bits}", f"msd{bits}", f"hlsd{bits}", f"hmsd{bits}"}
+            )
+        assert set(names) == expected
+
+    def test_sorted_listing(self):
+        names = available_sorters()
+        assert names == sorted(names)
+
+    def test_make_basic(self):
+        assert isinstance(make_sorter("quicksort"), Quicksort)
+        assert isinstance(make_sorter("mergesort"), Mergesort)
+
+    def test_radix_bits_baked_in(self):
+        sorter = make_sorter("lsd5")
+        assert isinstance(sorter, LSDRadixSort)
+        assert sorter.bits == 5
+
+    def test_each_call_returns_fresh_instance(self):
+        assert make_sorter("quicksort") is not make_sorter("quicksort")
+
+    def test_kwargs_forwarded(self):
+        sorter = make_sorter("quicksort", seed=99)
+        # The seed drives pivot choice; two sorters with the same seed make
+        # identical pivot sequences.
+        other = make_sorter("quicksort", seed=99)
+        assert sorter._rng.random() == other._rng.random()
+
+    def test_kwargs_preserve_bits(self):
+        sorter = make_sorter("msd4", bits=4)
+        assert sorter.bits == 4
+
+    def test_unknown_name_rejected_with_listing(self):
+        with pytest.raises(ValueError, match="unknown sorter"):
+            make_sorter("bogosort")

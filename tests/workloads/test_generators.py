@@ -1,0 +1,106 @@
+"""Tests for the workload generators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.approx_array import WORD_LIMIT
+from repro.metrics.sortedness import runs as count_runs
+from repro.workloads.generators import (
+    GENERATORS,
+    almost_sorted_keys,
+    few_distinct_keys,
+    make_keys,
+    reverse_sorted_keys,
+    runs_keys,
+    sorted_keys,
+    uniform_keys,
+    zipf_keys,
+)
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_length_and_range(self, name):
+        keys = make_keys(name, 500, seed=1)
+        assert len(keys) == 500
+        assert all(0 <= k < WORD_LIMIT for k in keys)
+
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_deterministic_per_seed(self, name):
+        assert make_keys(name, 200, seed=5) == make_keys(name, 200, seed=5)
+
+    @pytest.mark.parametrize("name", ["uniform", "zipf", "few_distinct"])
+    def test_different_seeds_differ(self, name):
+        assert make_keys(name, 200, seed=1) != make_keys(name, 200, seed=2)
+
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_zero_length(self, name):
+        assert make_keys(name, 0, seed=0) == []
+
+    def test_unknown_generator(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            make_keys("gaussian", 10)
+
+
+class TestSpecificShapes:
+    def test_sorted_is_sorted(self):
+        keys = sorted_keys(300, seed=2)
+        assert keys == sorted(keys)
+
+    def test_reverse_is_reverse(self):
+        keys = reverse_sorted_keys(300, seed=2)
+        assert keys == sorted(keys, reverse=True)
+
+    def test_uniform_spread(self):
+        keys = uniform_keys(5_000, seed=3)
+        assert min(keys) < WORD_LIMIT // 8
+        assert max(keys) > WORD_LIMIT * 7 // 8
+        assert len(set(keys)) > 4_990  # collisions vanishingly rare
+
+    def test_almost_sorted_close_to_sorted(self):
+        keys = almost_sorted_keys(1_000, seed=4, swap_fraction=0.01)
+        from repro.metrics.sortedness import rem
+
+        assert 0 < rem(keys) < 80
+
+    def test_almost_sorted_zero_swaps(self):
+        keys = almost_sorted_keys(100, seed=5, swap_fraction=0.0)
+        assert keys == sorted(keys)
+
+    def test_almost_sorted_validation(self):
+        with pytest.raises(ValueError):
+            almost_sorted_keys(10, swap_fraction=1.5)
+
+    def test_few_distinct(self):
+        keys = few_distinct_keys(1_000, seed=6, distinct=8)
+        assert len(set(keys)) <= 8
+
+    def test_few_distinct_validation(self):
+        with pytest.raises(ValueError):
+            few_distinct_keys(10, distinct=0)
+
+    def test_zipf_is_skewed(self):
+        """The most common key must dominate a uniform key's share."""
+        from collections import Counter
+
+        keys = zipf_keys(5_000, seed=7, s=1.5, universe=256)
+        top = Counter(keys).most_common(1)[0][1]
+        assert top > 5_000 / 256 * 5
+
+    def test_zipf_validation(self):
+        with pytest.raises(ValueError):
+            zipf_keys(10, s=0.0)
+
+    def test_runs_structure(self):
+        keys = runs_keys(1_000, seed=8, run_count=4)
+        assert count_runs(keys) <= 4 + 1
+
+    def test_runs_validation(self):
+        with pytest.raises(ValueError):
+            runs_keys(10, run_count=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=300), st.integers(0, 10))
+    def test_uniform_any_size(self, n, seed):
+        keys = uniform_keys(n, seed=seed)
+        assert len(keys) == n
