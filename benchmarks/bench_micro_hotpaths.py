@@ -12,9 +12,10 @@ import random
 import numpy as np
 import pytest
 
+from repro.memory import error_model
 from repro.memory.config import MLCParams
-from repro.memory.error_model import get_model
-from repro.memory.approx_array import PreciseArray
+from repro.memory.error_model import CACHE_DIR_ENV, get_model
+from repro.memory.approx_array import ApproxArray, PreciseArray
 from repro.memory.stats import MemoryStats
 from repro.metrics.sortedness import rem
 from repro.sorting.registry import make_sorter
@@ -77,9 +78,67 @@ def test_quicksort_on_instrumented_array(benchmark):
     benchmark(run)
 
 
-def test_lsd_block_path_on_approx_memory(benchmark, model):
-    from repro.memory.approx_array import ApproxArray
+def test_approx_scalar_write_batched(benchmark, model):
+    """The batched-uniform scalar write path of ApproxArray: the RNG call
+    is amortized over SCALAR_RNG_BATCH writes, so this should sit close to
+    the bare corrupt_word timing plus accounting."""
+    keys = uniform_keys(512, seed=6)
+    array = ApproxArray(
+        [0] * len(keys), model=model, precise_iterations=3.0, seed=7
+    )
 
+    def run():
+        for index, key in enumerate(keys):
+            array.write(index, key)
+
+    benchmark(run)
+
+
+def test_approx_write_block(benchmark, model):
+    """End-to-end vectorized block write (cost + corruption + store)."""
+    keys = uniform_keys(8_192, seed=8)
+    array = ApproxArray(
+        [0] * len(keys), model=model, precise_iterations=3.0, seed=9
+    )
+
+    benchmark(lambda: array.write_block(0, keys))
+
+
+def test_get_model_cold_without_cache(benchmark, monkeypatch):
+    """Full Monte-Carlo fit + table compilation (the disk cache disabled)."""
+    monkeypatch.setenv(CACHE_DIR_ENV, "off")
+    params = MLCParams(t=0.0525)
+
+    def setup():
+        error_model.MODEL_CACHE.clear()
+        return (), {}
+
+    benchmark.pedantic(
+        lambda: get_model(params, samples_per_level=FIT),
+        setup=setup, rounds=3,
+    )
+    error_model.MODEL_CACHE.clear()
+
+
+def test_get_model_warm_disk_cache(benchmark, monkeypatch, tmp_path):
+    """Model compilation from a warm disk entry: no Monte-Carlo sampling,
+    just the .npz read and table compilation."""
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+    params = MLCParams(t=0.0525)
+    get_model(params, samples_per_level=FIT)  # prime the disk entry
+
+    def setup():
+        error_model.MODEL_CACHE.clear()
+        return (), {}
+
+    benchmark.pedantic(
+        lambda: get_model(params, samples_per_level=FIT),
+        setup=setup, rounds=10,
+    )
+    error_model.MODEL_CACHE.clear()
+
+
+def test_lsd_block_path_on_approx_memory(benchmark, model):
     keys = uniform_keys(4_096, seed=4)
 
     def run():

@@ -125,3 +125,22 @@ class ExperimentTable:
 def fmt_pct(value: float) -> str:
     """Format a ratio as a signed percentage for notes."""
     return f"{value * 100:+.1f}%"
+
+
+def map_cells(fn, cells: list[tuple], jobs: int = 1) -> list:
+    """Run ``fn(*cell)`` for every cell, optionally across processes.
+
+    The experiment modules express their independent measurement cells as
+    tuples of primitives and a module-level function (so the pair pickles
+    into worker processes).  Results come back in cell order regardless of
+    ``jobs``, and the sequential path calls the exact same function, so the
+    output is bit-identical for any job count — each cell derives all of its
+    randomness from its own arguments, never from shared mutable state.
+    """
+    if jobs <= 1 or len(cells) <= 1:
+        return [fn(*cell) for cell in cells]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+        futures = [pool.submit(fn, *cell) for cell in cells]
+        return [future.result() for future in futures]

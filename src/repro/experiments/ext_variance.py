@@ -22,21 +22,35 @@ import math
 from repro.core.approx_refine import run_approx_refine, run_precise_baseline
 from repro.memory.config import MLCParams
 from repro.memory.factories import PCMMemoryFactory
+from repro.memory.stats import write_reduction
 from repro.workloads.generators import uniform_keys
 
-from .common import ExperimentTable, resolve_scale, scaled
+from .common import ExperimentTable, map_cells, resolve_scale, scaled
 from .fig04_sortedness import _fit_samples
 
 SWEET_SPOT_T = 0.055
 ALGORITHMS = ("lsd3", "lsd6", "msd3", "quicksort", "mergesort")
 
 
-def run(scale: str | None = None, seed: int = 0) -> ExperimentTable:
+def _cell(algorithm: str, n: int, key_seed: int, fit: int,
+          baseline_total: float, cell_seed: int) -> float:
+    """One (algorithm, corruption seed) write-reduction measurement.
+
+    Module-level with primitive arguments so it pickles to workers; the
+    sequential path runs the same function, keeping ``--jobs 1`` and
+    ``--jobs N`` tables bit-identical.
+    """
+    keys = uniform_keys(n, seed=key_seed)
+    memory = PCMMemoryFactory(MLCParams(t=SWEET_SPOT_T), fit_samples=fit)
+    result = run_approx_refine(keys, algorithm, memory, seed=cell_seed)
+    return write_reduction(baseline_total, result.total_units)
+
+
+def run(scale: str | None = None, seed: int = 0, jobs: int = 1) -> ExperimentTable:
     tier = resolve_scale(scale)
     n = scaled(tier, smoke=1_500, default=8_000, large=30_000)
     repeats = scaled(tier, smoke=3, default=7, large=9)
     fit = _fit_samples(tier)
-    memory = PCMMemoryFactory(MLCParams(t=SWEET_SPOT_T), fit_samples=fit)
     keys = uniform_keys(n, seed=seed)
 
     table = ExperimentTable(
@@ -54,14 +68,19 @@ def run(scale: str | None = None, seed: int = 0) -> ExperimentTable:
             " seed-sensitive",
         ],
     )
-    for algorithm in ALGORITHMS:
-        baseline = run_precise_baseline(keys, algorithm)
-        reductions = []
-        for repeat in range(repeats):
-            result = run_approx_refine(
-                keys, algorithm, memory, seed=seed + 1000 * (repeat + 1)
-            )
-            reductions.append(result.write_reduction_vs(baseline))
+    baselines = {
+        algorithm: run_precise_baseline(keys, algorithm).total_units
+        for algorithm in ALGORITHMS
+    }
+    cells = [
+        (algorithm, n, seed, fit, baselines[algorithm],
+         seed + 1000 * (repeat + 1))
+        for algorithm in ALGORITHMS
+        for repeat in range(repeats)
+    ]
+    results = map_cells(_cell, cells, jobs=jobs)
+    for i, algorithm in enumerate(ALGORITHMS):
+        reductions = results[i * repeats : (i + 1) * repeats]
         mean = sum(reductions) / len(reductions)
         variance = sum((r - mean) ** 2 for r in reductions) / len(reductions)
         table.add_row(

@@ -17,9 +17,10 @@ from __future__ import annotations
 from repro.core.approx_refine import run_approx_refine, run_precise_baseline
 from repro.memory.config import MLCParams, t_sweep
 from repro.memory.factories import PCMMemoryFactory
+from repro.memory.stats import write_reduction
 from repro.workloads.generators import uniform_keys
 
-from .common import ExperimentTable, resolve_scale, scaled
+from .common import ExperimentTable, map_cells, resolve_scale, scaled
 from .fig04_sortedness import _fit_samples
 
 ALGORITHMS = (
@@ -29,11 +30,30 @@ ALGORITHMS = (
 )
 
 
+def _cell(t: float, algorithm: str, n: int, seed: int, fit: int,
+          baseline_total: float) -> tuple[float, int, float]:
+    """One (T, algorithm) measurement, reconstructed from primitives.
+
+    Module-level and primitive-argument so it pickles into worker processes;
+    the sequential path calls the same function, which is what makes
+    ``--jobs 1`` and ``--jobs N`` output bit-identical.
+    """
+    keys = uniform_keys(n, seed=seed)
+    memory = PCMMemoryFactory(MLCParams(t=t), fit_samples=fit)
+    result = run_approx_refine(keys, algorithm, memory, seed=seed)
+    return (
+        write_reduction(baseline_total, result.total_units),
+        result.rem_tilde,
+        memory.p_ratio,
+    )
+
+
 def run(
     scale: str | None = None,
     seed: int = 0,
     t_values: list[float] | None = None,
     algorithms: tuple[str, ...] = ALGORITHMS,
+    jobs: int = 1,
 ) -> ExperimentTable:
     tier = resolve_scale(scale)
     n = scaled(tier, smoke=1_200, default=16_000, large=60_000)
@@ -57,15 +77,13 @@ def run(
         algorithm: run_precise_baseline(keys, algorithm)
         for algorithm in algorithms
     }
-    for t in ts:
-        memory = PCMMemoryFactory(MLCParams(t=t), fit_samples=fit)
-        for algorithm in algorithms:
-            result = run_approx_refine(keys, algorithm, memory, seed=seed)
-            table.add_row(
-                t,
-                algorithm,
-                result.write_reduction_vs(baselines[algorithm]),
-                result.rem_tilde / n,
-                memory.p_ratio,
-            )
+    cells = [
+        (t, algorithm, n, seed, fit, baselines[algorithm].total_units)
+        for t in ts
+        for algorithm in algorithms
+    ]
+    for (t, algorithm, *_), (reduction, rem_tilde, p_ratio) in zip(
+        cells, map_cells(_cell, cells, jobs=jobs)
+    ):
+        table.add_row(t, algorithm, reduction, rem_tilde / n, p_ratio)
     return table

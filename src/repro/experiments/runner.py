@@ -4,20 +4,38 @@ Usage::
 
     python -m repro.experiments.runner --list
     python -m repro.experiments.runner --exp fig09 --scale smoke
-    python -m repro.experiments.runner --all --scale default --save
+    python -m repro.experiments.runner --all --scale default --save --jobs 4
+    python -m repro.experiments.runner --exp ext_variance --jobs 4 --bench-json
 
 Each experiment prints its table; ``--save`` also writes the JSON record to
 ``benchmarks/results/``.
+
+``--jobs N`` runs independent experiments in worker processes.  When a
+*single* experiment is selected and it supports cell-level parallelism (see
+:data:`CELL_PARALLEL`), the job count is passed down so its independent
+(seed, parameter) cells fan out instead.  Tables are printed in submission
+order and are bit-identical for any job count: each cell reconstructs its
+inputs from primitive arguments and derives randomness only from its own
+seeds, never from shared mutable state.
+
+``--bench-json [PATH]`` appends a wall-clock record (per-experiment and
+total seconds, plus the scale/seed/jobs configuration) to a JSON array file,
+``BENCH_runner.json`` by default.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
+from concurrent.futures import ProcessPoolExecutor
+from datetime import datetime, timezone
+from pathlib import Path
 from typing import Callable
 
-from .common import ExperimentTable, SCALES
+from .common import ExperimentTable, SCALES, resolve_scale
 
 from . import (
     ablation_refine,
@@ -75,6 +93,34 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentTable]] = {
     "ext_write_combining": ext_write_combining.run,
 }
 
+#: Experiments whose ``run()`` accepts ``jobs=`` and fans its own
+#: independent measurement cells across processes.
+CELL_PARALLEL = frozenset({"fig09", "ext_variance"})
+
+
+def _run_single(
+    name: str, scale: str | None, seed: int, jobs: int = 1
+) -> tuple[str, ExperimentTable, float]:
+    """Run one experiment and time it (module-level so it pickles)."""
+    kwargs = {"jobs": jobs} if jobs > 1 and name in CELL_PARALLEL else {}
+    start = time.perf_counter()
+    table = EXPERIMENTS[name](scale=scale, seed=seed, **kwargs)
+    return name, table, time.perf_counter() - start
+
+
+def _append_bench_record(path: Path, record: dict) -> None:
+    """Append ``record`` to the JSON array in ``path`` (created if absent)."""
+    records = []
+    if path.exists():
+        try:
+            records = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            records = []
+        if not isinstance(records, list):
+            records = [records]
+    records.append(record)
+    path.write_text(json.dumps(records, indent=2) + "\n")
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
@@ -93,28 +139,78 @@ def main(argv: list[str] | None = None) -> int:
         "--save", action="store_true",
         help="write JSON results to benchmarks/results/",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes: fans independent experiments, or the"
+        " cells of a single cell-parallel experiment (output is"
+        " bit-identical for any N)",
+    )
+    parser.add_argument(
+        "--bench-json", nargs="?", const="BENCH_runner.json", default=None,
+        metavar="PATH",
+        help="append per-experiment wall-clock seconds to a JSON array"
+        " file (default PATH: BENCH_runner.json)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
         for name in EXPERIMENTS:
             print(name)
         return 0
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     names = list(EXPERIMENTS) if args.all else (args.exp or [])
     if not names:
         parser.error("choose experiments with --exp/--all (or use --list)")
 
-    for name in names:
-        start = time.perf_counter()
-        table = EXPERIMENTS[name](scale=args.scale, seed=args.seed)
-        elapsed = time.perf_counter() - start
+    timings: dict[str, float] = {}
+    wall_start = time.perf_counter()
+    if args.jobs > 1 and len(names) > 1:
+        # Fan whole experiments; print in submission order as they finish.
+        with ProcessPoolExecutor(max_workers=min(args.jobs, len(names))) as pool:
+            futures = [
+                pool.submit(_run_single, name, args.scale, args.seed)
+                for name in names
+            ]
+            results = (future.result() for future in futures)
+            _report(results, args, timings)
+    else:
+        results = (
+            _run_single(name, args.scale, args.seed, jobs=args.jobs)
+            for name in names
+        )
+        _report(results, args, timings)
+    total = time.perf_counter() - wall_start
+
+    if args.bench_json is not None:
+        record = {
+            "timestamp": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "scale": resolve_scale(args.scale),
+            "seed": args.seed,
+            "jobs": args.jobs,
+            "cpus": os.cpu_count(),
+            "experiments": {name: round(t, 3) for name, t in timings.items()},
+            "total_s": round(total, 3),
+        }
+        path = Path(args.bench_json)
+        _append_bench_record(path, record)
+        print(f"bench record appended to {path}")
+    return 0
+
+
+def _report(results, args, timings: dict[str, float]) -> None:
+    """Print each finished table (and optionally save it)."""
+    for name, table, elapsed in results:
+        timings[name] = elapsed
         print(table.to_text())
         print(f"[{name} finished in {elapsed:.1f}s]")
         print()
         if args.save:
             path = table.save()
             print(f"saved {path}")
-    return 0
 
 
 if __name__ == "__main__":

@@ -18,7 +18,10 @@ relies on ("the sorting algorithm we deploy in this stage is almost the same
 as the one in the precise memory, except for memory operations").
 
 Values are 32-bit unsigned integers (the paper's key type: sixteen
-concatenated 2-bit cells).
+concatenated 2-bit cells).  The backing store is a ``np.uint32`` array so
+block operations move data through vectorized slices; the scalar interface
+still trades in plain Python ints (``read`` never leaks numpy scalars into
+the sorters' arithmetic).
 """
 
 from __future__ import annotations
@@ -34,6 +37,10 @@ from .stats import MemoryStats
 #: Exclusive upper bound of representable key values.
 WORD_LIMIT = 1 << 32
 
+#: Uniform variates drawn per batch for the scalar approximate-write fast
+#: path (amortizes the per-write RNG call across a chunk).
+SCALAR_RNG_BATCH = 512
+
 #: Type of the optional trace hook: ``(op, region, index)`` with ``op`` one of
 #: ``"R"``/``"W"`` and ``region`` one of ``"precise"``/``"approx"``.
 TraceHook = Callable[[str, str, int], None]
@@ -44,6 +51,26 @@ def _check_word(value: int) -> int:
     if not 0 <= value < WORD_LIMIT:
         raise ValueError(f"key value {value!r} outside 32-bit unsigned range")
     return value
+
+
+def _as_words(values) -> np.ndarray:
+    """Coerce ``values`` to a validated ``np.uint32`` array.
+
+    Bounds are tested once on an int64 view (``min``/``max``), so a block of
+    any size pays two reductions rather than a per-element range check.
+    """
+    if isinstance(values, np.ndarray) and values.dtype == np.uint32:
+        return values
+    try:
+        wide = np.array(
+            values if isinstance(values, (np.ndarray, list, tuple)) else list(values),
+            dtype=np.int64,
+        )
+    except OverflowError as exc:
+        raise ValueError(f"key value outside 32-bit unsigned range: {exc}")
+    if wide.size and (int(wide.min()) < 0 or int(wide.max()) >= WORD_LIMIT):
+        raise ValueError("key value outside 32-bit unsigned range")
+    return wide.astype(np.uint32)
 
 
 class InstrumentedArray:
@@ -63,7 +90,16 @@ class InstrumentedArray:
         trace: Optional[TraceHook] = None,
         name: str = "",
     ) -> None:
-        self._data = [_check_word(int(v)) for v in data]
+        words = _as_words(data)
+        # _as_words returns its argument unchanged only when it is already a
+        # uint32 ndarray; copy then, so the array never aliases caller data.
+        self._data = words.copy() if words is data else words
+        # Scalar element access goes through a memoryview of the same
+        # buffer: it returns plain Python ints (no numpy scalars leak into
+        # the sorters' arithmetic), rejects out-of-range values on write,
+        # and is measurably faster than ndarray indexing.  Block operations
+        # keep using the ndarray; both views share storage.
+        self._mv = memoryview(self._data)
         self.stats = stats if stats is not None else MemoryStats()
         self.trace = trace
         self.name = name
@@ -72,18 +108,18 @@ class InstrumentedArray:
 
     def peek(self, index: int) -> int:
         """Read without accounting — for metrics and test oracles only."""
-        return self._data[index]
+        return self._mv[index]
 
     def to_list(self) -> list[int]:
         """Unaccounted copy of the current contents."""
-        return list(self._data)
+        return self._data.tolist()
 
     def to_numpy(self) -> np.ndarray:
         """Unaccounted numpy copy of the current contents."""
-        return np.asarray(self._data, dtype=np.uint32)
+        return self._data.copy()
 
     def __len__(self) -> int:
-        return len(self._data)
+        return self._data.size
 
     # -- accounted access ------------------------------------------------ #
 
@@ -115,6 +151,12 @@ class InstrumentedArray:
         for offset, value in enumerate(values):
             self.write(start + offset, value)
 
+    def _trace_block(self, op: str, start: int, count: int) -> None:
+        """Emit one trace event per element of a block access."""
+        trace = self.trace
+        for i in range(start, start + count):
+            trace(op, self.region, i)
+
 
 class PreciseArray(InstrumentedArray):
     """Array in precise memory: reads/writes are exact, cost 1 unit each."""
@@ -124,35 +166,39 @@ class PreciseArray(InstrumentedArray):
     def clone_empty(self, size: Optional[int] = None, name: str = "") -> "PreciseArray":
         n = len(self) if size is None else size
         return PreciseArray(
-            [0] * n, stats=self.stats, trace=self.trace, name=name or self.name
+            np.zeros(n, dtype=np.uint32), stats=self.stats, trace=self.trace,
+            name=name or self.name,
         )
 
     def read_block(self, start: int, count: int) -> list[int]:
         self.stats.record_precise_read(count)
         if self.trace is not None:
-            for i in range(start, start + count):
-                self.trace("R", self.region, i)
-        return self._data[start : start + count]
+            self._trace_block("R", start, count)
+        return self._data[start : start + count].tolist()
 
     def write_block(self, start: int, values: Sequence[int]) -> None:
-        checked = [_check_word(int(v)) for v in values]
-        self.stats.record_precise_write(len(checked))
+        checked = _as_words(values)
+        self.stats.record_precise_write(checked.size)
         if self.trace is not None:
-            for offset in range(len(checked)):
-                self.trace("W", self.region, start + offset)
-        self._data[start : start + len(checked)] = checked
+            self._trace_block("W", start, checked.size)
+        self._data[start : start + checked.size] = checked
 
     def read(self, index: int) -> int:
         self.stats.record_precise_read()
         if self.trace is not None:
             self.trace("R", self.region, index)
-        return self._data[index]
+        return self._mv[index]
 
     def write(self, index: int, value: int) -> None:
         self.stats.record_precise_write()
         if self.trace is not None:
             self.trace("W", self.region, index)
-        self._data[index] = _check_word(value)
+        try:
+            # The uint32 memoryview rejects out-of-range values itself, so
+            # the hot path needs no explicit bounds check.
+            self._mv[index] = value
+        except (ValueError, TypeError):
+            self._data[index] = _check_word(value)  # canonical error message
 
 
 class ApproxArray(InstrumentedArray):
@@ -175,9 +221,12 @@ class ApproxArray(InstrumentedArray):
         Average #P of the matching precise configuration (the denominator of
         ``p(t)``); measured, not the paper's approximate constant 3.
     seed:
-        Seed of the run-time corruption randomness.  A Python ``random.Random``
-        drives the scalar fast path; a numpy generator (independent stream)
-        drives vectorized block writes.
+        Seed of the run-time corruption randomness.  Three independent,
+        deterministically derived streams: a numpy generator drawing the
+        scalar fast-path uniforms in batches of :data:`SCALAR_RNG_BATCH`, a
+        Python ``random.Random`` feeding the rare scalar slow path (and
+        clone-seed derivation), and a numpy generator for vectorized block
+        writes.
     """
 
     region = "approx"
@@ -200,13 +249,16 @@ class ApproxArray(InstrumentedArray):
         self._seed = seed
         self._rng = random.Random(seed)
         self._np_rng = np.random.default_rng((seed, 0x5EED))
+        self._scalar_rng = np.random.default_rng((seed, 0xFA57))
+        self._u_buffer: list[float] = []
+        self._u_pos = 0
 
     def clone_empty(self, size: Optional[int] = None, name: str = "") -> "ApproxArray":
         n = len(self) if size is None else size
         # Derive the scratch array's corruption stream from this array's so
         # clones stay deterministic under the parent's seed yet independent.
         return ApproxArray(
-            [0] * n,
+            np.zeros(n, dtype=np.uint32),
             model=self.model,
             precise_iterations=self.precise_iterations,
             stats=self.stats,
@@ -219,42 +271,47 @@ class ApproxArray(InstrumentedArray):
         self.stats.record_approx_read()
         if self.trace is not None:
             self.trace("R", self.region, index)
-        return self._data[index]
+        return self._mv[index]
 
     def read_block(self, start: int, count: int) -> list[int]:
         self.stats.record_approx_read(count)
         if self.trace is not None:
-            for i in range(start, start + count):
-                self.trace("R", self.region, i)
-        return self._data[start : start + count]
+            self._trace_block("R", start, count)
+        return self._data[start : start + count].tolist()
+
+    def _next_uniform(self) -> float:
+        """One fast-path uniform from the batched scalar stream."""
+        pos = self._u_pos
+        if pos >= len(self._u_buffer):
+            self._u_buffer = self._scalar_rng.random(SCALAR_RNG_BATCH).tolist()
+            pos = 0
+        self._u_pos = pos + 1
+        return self._u_buffer[pos]
 
     def write(self, index: int, value: int) -> None:
         value = _check_word(value)
-        units = self.model.word_write_cost(value) / self.precise_iterations
-        stored = self.model.corrupt_word(value, self._rng)
+        model = self.model
+        units = model.word_write_cost(value) / self.precise_iterations
+        stored = model.corrupt_word_given_u(value, self._next_uniform(), self._rng)
         self.stats.record_approx_write(units, corrupted=stored != value)
         if self.trace is not None:
             self.trace("W", self.region, index)
-        self._data[index] = stored
+        self._mv[index] = stored
 
     def write_block(self, start: int, values: Sequence[int]) -> None:
         """Vectorized block write (numpy path; same distribution as scalar)."""
-        vals = np.asarray(values, dtype=np.int64)
+        vals = _as_words(values)
         if vals.size == 0:
             return
-        if vals.min() < 0 or vals.max() >= WORD_LIMIT:
-            raise ValueError("key value outside 32-bit unsigned range")
-        vals32 = vals.astype(np.uint32)
         units = float(
-            self.model.block_write_cost(vals32).sum() / self.precise_iterations
+            self.model.block_write_cost(vals).sum() / self.precise_iterations
         )
-        stored = self.model.corrupt_block(vals32, self._np_rng)
-        corrupted = int(np.count_nonzero(stored != vals32))
-        self.stats.record_approx_write_block(vals32.size, units, corrupted)
+        stored = self.model.corrupt_block(vals, self._np_rng)
+        corrupted = int(np.count_nonzero(stored != vals))
+        self.stats.record_approx_write_block(vals.size, units, corrupted)
         if self.trace is not None:
-            for offset in range(vals32.size):
-                self.trace("W", self.region, start + offset)
-        self._data[start : start + vals32.size] = [int(v) for v in stored]
+            self._trace_block("W", start, vals.size)
+        self._data[start : start + vals.size] = stored
 
     def load_from(self, source: InstrumentedArray) -> None:
         """Approx-preparation copy: read ``source``, write every element here.
@@ -266,5 +323,4 @@ class ApproxArray(InstrumentedArray):
             raise ValueError(
                 f"size mismatch: source {len(source)} vs destination {len(self)}"
             )
-        values = [source.read(i) for i in range(len(source))]
-        self.write_block(0, values)
+        self.write_block(0, source.read_block(0, len(source)))

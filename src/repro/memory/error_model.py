@@ -18,7 +18,12 @@ probabilities) and is the engine behind :class:`repro.memory.approx_array.Approx
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -27,6 +32,18 @@ from .mlc import pv_write, drift_read
 
 #: Number of Monte-Carlo writes per level used to fit the compiled model.
 DEFAULT_FIT_SAMPLES = 100_000
+
+#: Number of Monte-Carlo fits executed by this process (cache-miss counter;
+#: tests assert warm-cache paths leave it untouched).
+FIT_CALLS = 0
+
+#: Environment variable overriding the on-disk characterization cache
+#: location.  Set it to ``off``/``none``/``0``/empty to disable the disk
+#: layer entirely.
+CACHE_DIR_ENV = "REPRO_MODEL_CACHE_DIR"
+
+#: Version tag of the on-disk cache format; bump to invalidate old entries.
+CACHE_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -68,6 +85,8 @@ def characterize_cells(
     seed: int = 0,
 ) -> CellCharacteristics:
     """Monte-Carlo fit of the level-transition matrix and #P per level."""
+    global FIT_CALLS
+    FIT_CALLS += 1
     n = params.levels
     rng = np.random.default_rng(seed)
     transition = np.zeros((n, n), dtype=np.float64)
@@ -80,6 +99,128 @@ def characterize_cells(
         transition[level] = counts / samples_per_level
         mean_iters[level] = iters.mean()
     return CellCharacteristics(transition=transition, mean_iterations=mean_iters)
+
+
+# --------------------------------------------------------------------------- #
+# Persistent characterization cache
+#
+# A Monte-Carlo fit is hundreds of thousands of analog writes; its output is
+# twenty floats.  The disk layer persists those floats as a tiny ``.npz`` per
+# configuration under ``~/.cache/repro-approx-sort/`` (override with
+# ``REPRO_MODEL_CACHE_DIR``), so ``T``-sweeps and cross-process experiment
+# runs pay for each fit once per machine rather than once per process.  The
+# directory is safe to delete at any time; entries are re-fitted on demand.
+# --------------------------------------------------------------------------- #
+
+
+def model_cache_dir() -> "Path | None":
+    """Resolve the disk-cache directory, or ``None`` when disabled."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override is not None:
+        if override.strip().lower() in ("", "0", "off", "none"):
+            return None
+        return Path(override)
+    return Path.home() / ".cache" / "repro-approx-sort"
+
+
+def _cache_path(
+    params: MLCParams, samples_per_level: int, seed: int, encoding: str
+) -> "Path | None":
+    """Cache file for one fit key, hashed over the full parameter set."""
+    directory = model_cache_dir()
+    if directory is None:
+        return None
+    payload = json.dumps(
+        {
+            "version": CACHE_VERSION,
+            "params": asdict(params),
+            "samples_per_level": samples_per_level,
+            "seed": seed,
+            "encoding": encoding,
+        },
+        sort_keys=True,
+    )
+    digest = hashlib.sha256(payload.encode()).hexdigest()[:24]
+    return directory / f"cells-v{CACHE_VERSION}-{digest}.npz"
+
+
+def _load_characteristics(path: Path, levels: int) -> "CellCharacteristics | None":
+    """Read one cached fit; ``None`` on any missing/corrupt/mismatched file."""
+    try:
+        with np.load(path) as data:
+            transition = np.asarray(data["transition"], dtype=np.float64)
+            mean_iterations = np.asarray(data["mean_iterations"], dtype=np.float64)
+    except (OSError, KeyError, ValueError):
+        return None
+    if transition.shape != (levels, levels) or mean_iterations.shape != (levels,):
+        return None
+    return CellCharacteristics(
+        transition=transition, mean_iterations=mean_iterations
+    )
+
+
+def _store_characteristics(path: Path, characteristics: CellCharacteristics) -> None:
+    """Atomically persist one fit (best-effort: cache failures never raise)."""
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(
+                    handle,
+                    transition=characteristics.transition,
+                    mean_iterations=characteristics.mean_iterations,
+                )
+            os.replace(tmp_name, path)
+        except BaseException:
+            os.unlink(tmp_name)
+            raise
+    except OSError:
+        pass
+
+
+def characterize_cells_cached(
+    params: MLCParams,
+    samples_per_level: int = DEFAULT_FIT_SAMPLES,
+    seed: int = 0,
+    encoding: str = "binary",
+) -> CellCharacteristics:
+    """Disk-cached :func:`characterize_cells`.
+
+    The fit itself does not depend on ``encoding`` (it measures analog level
+    transitions), but the key includes it so every compiled-model identity
+    maps to exactly one cache entry.
+    """
+    path = _cache_path(params, samples_per_level, seed, encoding)
+    if path is not None:
+        cached = _load_characteristics(path, params.levels)
+        if cached is not None:
+            return cached
+    characteristics = characterize_cells(params, samples_per_level, seed)
+    if path is not None:
+        _store_characteristics(path, characteristics)
+    return characteristics
+
+
+def clear_disk_cache() -> int:
+    """Delete every cached fit of the current :data:`CACHE_VERSION`.
+
+    Returns the number of entries removed; a disabled or absent cache
+    directory counts as empty.
+    """
+    directory = model_cache_dir()
+    if directory is None or not directory.is_dir():
+        return 0
+    removed = 0
+    for path in directory.glob(f"cells-v{CACHE_VERSION}-*.npz"):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed
 
 
 class WordErrorModel:
@@ -118,9 +259,8 @@ class WordErrorModel:
         samples_per_level: int = DEFAULT_FIT_SAMPLES,
         seed: int = 0,
         encoding: str = "binary",
+        characteristics: "CellCharacteristics | None" = None,
     ) -> None:
-        self.params = params
-        self.characteristics = characterize_cells(params, samples_per_level, seed)
         n = params.levels
         if n != 4:
             raise ValueError(
@@ -132,6 +272,15 @@ class WordErrorModel:
                 f"encoding must be one of {sorted(self.ENCODINGS)},"
                 f" got {encoding!r}"
             )
+        self.params = params
+        # ``characteristics`` lets the cache layer inject a previously fitted
+        # (possibly disk-loaded) measurement instead of re-running the
+        # Monte-Carlo pass; compiling the lookup tables below is cheap.
+        self.characteristics = (
+            characteristics
+            if characteristics is not None
+            else characterize_cells(params, samples_per_level, seed)
+        )
         self.encoding = encoding
         level_to_bits = self.ENCODINGS[encoding]
         bits_to_level = [0] * 4
@@ -234,8 +383,18 @@ class WordErrorModel:
         on at least one error having occurred (first-error-index method, so
         the conditional distribution is exact rather than rejection-based).
         """
+        return self.corrupt_word_given_u(value, rng.random(), rng)
+
+    def corrupt_word_given_u(
+        self, value: int, u: float, rng: np.random.Generator
+    ) -> int:
+        """:meth:`corrupt_word` with the fast-path uniform ``u`` supplied.
+
+        Lets callers draw their fast-path variates in amortized batches (see
+        :class:`~repro.memory.approx_array.ApproxArray`); ``rng`` only feeds
+        the rare slow path.
+        """
         p_ok = self.word_no_error_probability(value)
-        u = rng.random()
         if u < p_ok:
             return value
         return self._corrupt_word_slow(value, (u - p_ok) / (1.0 - p_ok), rng)
@@ -294,11 +453,58 @@ class WordErrorModel:
     # Vectorized block path
     # ------------------------------------------------------------------ #
 
+    #: Fraction of erring words above which the per-cell dense path beats
+    #: per-word scalar resampling.
+    _DENSE_ERROR_CUTOFF = 0.04
+
+    def block_no_error_probability(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`word_no_error_probability`."""
+        vals = np.asarray(values, dtype=np.uint32)
+        t = self._byte_p_ok
+        return (
+            t[vals & np.uint32(0xFF)]
+            * t[(vals >> np.uint32(8)) & np.uint32(0xFF)]
+            * t[(vals >> np.uint32(16)) & np.uint32(0xFF)]
+            * t[(vals >> np.uint32(24)) & np.uint32(0xFF)]
+        )
+
     def corrupt_block(
         self, values: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
-        """Vectorized :meth:`corrupt_word` over an array of 32-bit values."""
+        """Vectorized :meth:`corrupt_word` over an array of 32-bit values.
+
+        Two regimes, both exact in distribution:
+
+        * **sparse** (the common case) — one uniform per word decides
+          no-error via the byte tables; only the few erring words take the
+          exact per-cell slow path.
+        * **dense** — when the expected error fraction exceeds
+          :data:`_DENSE_ERROR_CUTOFF`, resample every cell column
+          vectorized (the pre-optimization behaviour).
+        """
         vals = np.asarray(values, dtype=np.uint32)
+        if vals.size == 0:
+            return vals.copy()
+        p_ok = self.block_no_error_probability(vals)
+        expected_errors = vals.size - float(p_ok.sum())
+        if expected_errors > vals.size * self._DENSE_ERROR_CUTOFF:
+            return self._corrupt_block_dense(vals, rng)
+        out = vals.copy()
+        u = rng.random(vals.shape)
+        err_idx = np.nonzero(u >= p_ok)[0]
+        for i in err_idx:
+            i = int(i)
+            out[i] = self._corrupt_word_slow(
+                int(vals[i]),
+                (float(u[i]) - float(p_ok[i])) / (1.0 - float(p_ok[i])),
+                rng,
+            )
+        return out
+
+    def _corrupt_block_dense(
+        self, vals: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Per-cell-column vectorized corruption (high-error-rate regime)."""
         out = vals.copy()
         for k in range(CELLS_PER_WORD):
             bits = (vals >> np.uint32(2 * k)) & np.uint32(3)
@@ -331,7 +537,10 @@ class _ModelCache:
 
     Compiling a model runs a Monte-Carlo fit (hundreds of thousands of analog
     writes), so experiments sweeping ``T`` share compiled models through this
-    cache, keyed by the full parameter set and fit size.
+    cache, keyed by the full parameter set and fit size.  Misses consult the
+    persistent disk layer (:func:`characterize_cells_cached`) before
+    re-running the fit, so warm-cache lookups — including in freshly forked
+    worker processes — do no Monte-Carlo sampling at all.
     """
 
     def __init__(self) -> None:
@@ -347,11 +556,18 @@ class _ModelCache:
         key = (params, samples_per_level, seed, encoding)
         model = self._models.get(key)
         if model is None:
-            model = WordErrorModel(params, samples_per_level, seed, encoding)
+            characteristics = characterize_cells_cached(
+                params, samples_per_level, seed, encoding
+            )
+            model = WordErrorModel(
+                params, samples_per_level, seed, encoding,
+                characteristics=characteristics,
+            )
             self._models[key] = model
         return model
 
     def clear(self) -> None:
+        """Drop the in-memory models (the disk layer is left intact)."""
         self._models.clear()
 
 

@@ -28,7 +28,7 @@ from .config import CELLS_PER_WORD, MLCParams, PRECISE_T
 from .error_model import (
     DEFAULT_FIT_SAMPLES,
     CellCharacteristics,
-    characterize_cells,
+    characterize_cells_cached,
     get_model,
 )
 from .stats import MemoryStats
@@ -60,10 +60,11 @@ class PriorityWordErrorModel:
         self.base = base if base is not None else MLCParams()
         self.profile = tuple(float(t) for t in profile)
 
-        # Characterize each distinct T once; cells share fits.
+        # Characterize each distinct T once; cells share fits (and the
+        # persistent disk cache shares them across processes).
         by_t: dict[float, CellCharacteristics] = {}
         for t in set(self.profile):
-            by_t[t] = characterize_cells(
+            by_t[t] = characterize_cells_cached(
                 self.base.with_t(t), samples_per_level, seed
             )
         self._cells = [by_t[t] for t in self.profile]
@@ -153,8 +154,12 @@ class PriorityWordErrorModel:
         return total / CELLS_PER_WORD
 
     def corrupt_word(self, value: int, rng) -> int:
+        return self.corrupt_word_given_u(value, rng.random(), rng)
+
+    def corrupt_word_given_u(self, value: int, u: float, rng) -> int:
+        """:meth:`corrupt_word` with the fast-path uniform supplied (see the
+        batched scalar-write path of ``ApproxArray``)."""
         p_ok = self.word_no_error_probability(value)
-        u = rng.random()
         if u < p_ok:
             return value
         return self._corrupt_word_slow(value, u - p_ok, rng)
@@ -193,8 +198,41 @@ class PriorityWordErrorModel:
     # Vectorized block path
     # ------------------------------------------------------------------ #
 
+    #: Same sparse/dense switch-over point as ``WordErrorModel``.
+    _DENSE_ERROR_CUTOFF = 0.04
+
+    def block_no_error_probability(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`word_no_error_probability` (position tables)."""
+        vals = np.asarray(values, dtype=np.uint32)
+        t = self._byte_p_ok
+        return (
+            t[0][vals & np.uint32(0xFF)]
+            * t[1][(vals >> np.uint32(8)) & np.uint32(0xFF)]
+            * t[2][(vals >> np.uint32(16)) & np.uint32(0xFF)]
+            * t[3][(vals >> np.uint32(24)) & np.uint32(0xFF)]
+        )
+
     def corrupt_block(self, values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         vals = np.asarray(values, dtype=np.uint32)
+        if vals.size == 0:
+            return vals.copy()
+        p_ok = self.block_no_error_probability(vals)
+        expected_errors = vals.size - float(p_ok.sum())
+        if expected_errors > vals.size * self._DENSE_ERROR_CUTOFF:
+            return self._corrupt_block_dense(vals, rng)
+        out = vals.copy()
+        u = rng.random(vals.shape)
+        err_idx = np.nonzero(u >= p_ok)[0]
+        for i in err_idx:
+            i = int(i)
+            out[i] = self._corrupt_word_slow(
+                int(vals[i]), float(u[i]) - float(p_ok[i]), rng
+            )
+        return out
+
+    def _corrupt_block_dense(
+        self, vals: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
         out = vals.copy()
         for k in range(CELLS_PER_WORD):
             levels = ((vals >> np.uint32(2 * k)) & np.uint32(3)).astype(np.int64)
@@ -238,7 +276,7 @@ def solve_relaxed_t(
     base = base if base is not None else MLCParams()
 
     def avg_iters(t: float) -> float:
-        return characterize_cells(
+        return characterize_cells_cached(
             base.with_t(t), samples_per_level, seed
         ).avg_iterations
 
@@ -271,13 +309,13 @@ def equal_cost_priority_profile(
             f" got {protected_cells}"
         )
     base = base if base is not None else MLCParams()
-    uniform_iters = characterize_cells(
+    uniform_iters = characterize_cells_cached(
         base.with_t(uniform_t), samples_per_level, seed
     ).avg_iterations
     if protected_cells == 0:
         return [uniform_t] * CELLS_PER_WORD
 
-    protect_iters = characterize_cells(
+    protect_iters = characterize_cells_cached(
         base.with_t(protect_t), samples_per_level, seed
     ).avg_iterations
     relaxed_cells = CELLS_PER_WORD - protected_cells

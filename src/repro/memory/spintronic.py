@@ -24,7 +24,7 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
-from .approx_array import InstrumentedArray, TraceHook, WORD_LIMIT, _check_word
+from .approx_array import InstrumentedArray, TraceHook, _as_words, _check_word
 from .config import SpintronicParams, WORD_BITS
 from .stats import MemoryStats
 
@@ -88,10 +88,10 @@ class SpintronicErrorModel:
         if n_flips == 0:
             return out
         positions = rng.choice(n_bits, size=n_flips, replace=False)
-        for pos in positions:
-            word = int(pos) // WORD_BITS
-            bit = int(pos) % WORD_BITS
-            out[word] ^= np.uint32(1 << bit)
+        words = (positions // WORD_BITS).astype(np.int64)
+        bits = (positions % WORD_BITS).astype(np.uint32)
+        # A word can host several flips; xor.at accumulates them in place.
+        np.bitwise_xor.at(out, words, np.uint32(1) << bits)
         return out
 
 
@@ -117,7 +117,7 @@ class SpintronicArray(InstrumentedArray):
     def clone_empty(self, size: Optional[int] = None, name: str = "") -> "SpintronicArray":
         n = len(self) if size is None else size
         return SpintronicArray(
-            [0] * n,
+            np.zeros(n, dtype=np.uint32),
             model=self.model,
             stats=self.stats,
             seed=self._rng.getrandbits(32),
@@ -129,14 +129,13 @@ class SpintronicArray(InstrumentedArray):
         self.stats.record_approx_read()
         if self.trace is not None:
             self.trace("R", self.region, index)
-        return self._data[index]
+        return self._mv[index]
 
     def read_block(self, start: int, count: int) -> list[int]:
         self.stats.record_approx_read(count)
         if self.trace is not None:
-            for i in range(start, start + count):
-                self.trace("R", self.region, i)
-        return self._data[start : start + count]
+            self._trace_block("R", start, count)
+        return self._data[start : start + count].tolist()
 
     def write(self, index: int, value: int) -> None:
         value = _check_word(value)
@@ -146,24 +145,20 @@ class SpintronicArray(InstrumentedArray):
         )
         if self.trace is not None:
             self.trace("W", self.region, index)
-        self._data[index] = stored
+        self._mv[index] = stored
 
     def write_block(self, start: int, values: Sequence[int]) -> None:
-        vals = np.asarray(values, dtype=np.int64)
+        vals = _as_words(values)
         if vals.size == 0:
             return
-        if vals.min() < 0 or vals.max() >= WORD_LIMIT:
-            raise ValueError("key value outside 32-bit unsigned range")
-        vals32 = vals.astype(np.uint32)
-        stored = self.model.corrupt_block(vals32, self._np_rng)
-        corrupted = int(np.count_nonzero(stored != vals32))
+        stored = self.model.corrupt_block(vals, self._np_rng)
+        corrupted = int(np.count_nonzero(stored != vals))
         self.stats.record_approx_write_block(
-            vals32.size, self.model.write_cost * vals32.size, corrupted
+            vals.size, self.model.write_cost * vals.size, corrupted
         )
         if self.trace is not None:
-            for offset in range(vals32.size):
-                self.trace("W", self.region, start + offset)
-        self._data[start : start + vals32.size] = [int(v) for v in stored]
+            self._trace_block("W", start, vals.size)
+        self._data[start : start + vals.size] = stored
 
     def load_from(self, source: InstrumentedArray) -> None:
         """Accounted approx-preparation copy from a precise array."""
@@ -171,5 +166,4 @@ class SpintronicArray(InstrumentedArray):
             raise ValueError(
                 f"size mismatch: source {len(source)} vs destination {len(self)}"
             )
-        values = [source.read(i) for i in range(len(source))]
-        self.write_block(0, values)
+        self.write_block(0, source.read_block(0, len(source)))

@@ -36,11 +36,11 @@ class _AdversarialArray(InstrumentedArray):
 
     def read(self, index):
         self.stats.record_approx_read()
-        return self._data[index]
+        return self._data.item(index)
 
     def read_block(self, start, count):
         self.stats.record_approx_read(count)
-        return self._data[start : start + count]
+        return self._data[start : start + count].tolist()
 
     def write(self, index, value):
         _check_word(value)

@@ -1,5 +1,7 @@
 """Tests for the CLI experiment runner."""
 
+import json
+
 import pytest
 
 from repro.experiments.runner import main
@@ -41,6 +43,60 @@ class TestRunnerCLI:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["--exp", "fig99"])
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--exp", "fig02", "--jobs", "0"])
+
+    def test_bench_json_appends_records(self, capsys, tmp_path):
+        path = tmp_path / "bench.json"
+        for _ in range(2):
+            assert main(
+                ["--exp", "fig02", "--scale", "smoke",
+                 "--bench-json", str(path)]
+            ) == 0
+        records = json.loads(path.read_text())
+        assert len(records) == 2
+        for record in records:
+            assert record["scale"] == "smoke"
+            assert record["jobs"] == 1
+            assert set(record["experiments"]) == {"fig02"}
+            assert record["total_s"] >= record["experiments"]["fig02"]
+
+
+class TestParallelJobs:
+    def test_multi_experiment_fanout_prints_in_order(self, capsys):
+        assert main(
+            ["--exp", "fig02", "--exp", "table3", "--scale", "smoke",
+             "--jobs", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.index("== fig02") < out.index("== table3")
+
+    def test_cell_parallel_experiment_via_cli(self, capsys):
+        assert main(
+            ["--exp", "ext_variance", "--scale", "smoke", "--jobs", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ext_variance" in out
+
+    def test_fig09_jobs_bit_identical(self):
+        from repro.experiments import fig09_write_reduction_t as fig09
+
+        kwargs = dict(
+            scale="smoke", seed=0, t_values=[0.055],
+            algorithms=("lsd3", "quicksort"),
+        )
+        sequential = fig09.run(**kwargs, jobs=1)
+        parallel = fig09.run(**kwargs, jobs=2)
+        assert sequential.rows == parallel.rows
+
+    def test_ext_variance_jobs_bit_identical(self):
+        from repro.experiments import ext_variance
+
+        sequential = ext_variance.run(scale="smoke", seed=0, jobs=1)
+        parallel = ext_variance.run(scale="smoke", seed=0, jobs=2)
+        assert sequential.rows == parallel.rows
 
 
 class TestModuleEntryPoint:

@@ -61,15 +61,25 @@ class TestMergesort:
 
     def test_vulnerable_to_corruption(self, pcm_sweet, pcm_precise):
         """The paper's key qualitative claim: mergesort's unsortedness on
-        approximate memory dwarfs quicksort's at the same T."""
+        approximate memory dwarfs quicksort's at the same T.
+
+        Mergesort's Rem is heavy-tailed: it is dominated by the occasional
+        mid-pass corruption that breaks a run's sortedness and is amplified
+        by every later merge, so a single corruption seed rides on
+        realization luck.  Averaging over several seeds makes the systematic
+        merge >> quick gap testable.
+        """
         from repro.metrics.sortedness import rem_ratio
         from repro.sorting.quicksort import Quicksort
 
         keys = uniform_keys(4_000, seed=5)
         results = {}
         for label, sorter in (("merge", Mergesort()), ("quick", Quicksort())):
-            array = pcm_sweet.make_array([0] * len(keys), seed=7)
-            array.write_block(0, keys)
-            sorter.sort(array)
-            results[label] = rem_ratio(array.to_list())
+            total = 0.0
+            for seed in range(7, 15):
+                array = pcm_sweet.make_array([0] * len(keys), seed=seed)
+                array.write_block(0, keys)
+                sorter.sort(array)
+                total += rem_ratio(array.to_list())
+            results[label] = total / 8
         assert results["merge"] > 3 * results["quick"]
