@@ -149,3 +149,67 @@ def test_lsd_block_path_on_approx_memory(benchmark, model):
         make_sorter("lsd6").sort(array)
 
     benchmark(run)
+
+
+# -- kernelized execution path (DESIGN.md section 8) -------------------- #
+
+
+@pytest.mark.parametrize("kernels", ["scalar", "numpy"])
+@pytest.mark.parametrize("algo", ["mergesort", "quicksort", "lsd6", "hmsd6"])
+def test_sorter_kernels_on_precise_memory(benchmark, algo, kernels):
+    """Scalar-vs-numpy kernels head to head on the same sort; outputs and
+    accounted counts are identical (test_kernel_equivalence), so the entire
+    delta is the execution path."""
+    keys = uniform_keys(8_192, seed=12)
+
+    def run():
+        stats = MemoryStats()
+        array = PreciseArray(keys, stats=stats)
+        make_sorter(algo, kernels=kernels).sort(array)
+        return stats.precise_writes
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("kernels", ["scalar", "numpy"])
+def test_refine_kernels_nearly_sorted(benchmark, kernels):
+    """find_rem_ids + merge_refined on a nearly sorted permutation — the
+    refine stage's common case after a good approx-stage sort."""
+    from repro.core.refine import find_rem_ids, merge_refined
+
+    n = 8_192
+    keys = uniform_keys(n, seed=14)
+    order = sorted(range(n), key=lambda i: keys[i])
+    for k in range(0, n - 1, 97):
+        order[k], order[k + 1] = order[k + 1], order[k]
+
+    def run():
+        stats = MemoryStats()
+        key0 = PreciseArray(keys, stats=stats)
+        ids = PreciseArray(order, stats=stats)
+        rem_ids = find_rem_ids(ids, key0, kernels=kernels)
+        final_keys = PreciseArray([0] * n, stats=stats)
+        final_ids = PreciseArray([0] * n, stats=stats)
+        merge_refined(
+            ids, key0, sorted(rem_ids, key=lambda i: keys[i]),
+            final_keys, final_ids, kernels=kernels,
+        )
+        return len(rem_ids)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("kernels", ["scalar", "numpy"])
+def test_mergesort_kernels_on_approx_memory(benchmark, model, kernels):
+    """The PR-acceptance hot path: approx-stage mergesort under corruption
+    (level-batched block writes vs per-element scalar writes)."""
+    keys = uniform_keys(8_192, seed=15)
+
+    def run():
+        array = ApproxArray(
+            [0] * len(keys), model=model, precise_iterations=3.0, seed=16
+        )
+        array.write_block(0, keys)
+        make_sorter("mergesort", kernels=kernels).sort(array)
+
+    benchmark(run)

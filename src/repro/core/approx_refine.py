@@ -32,15 +32,19 @@ from repro.memory.factories import ApproxMemoryFactory
 from repro.memory.stats import MemoryStats
 from repro.metrics.sortedness import error_rate_multiset, rem_ratio
 from repro.sorting.base import BaseSorter
-from repro.sorting.registry import make_sorter
+from repro.sorting.registry import make_sorter, with_kernels
 
 from .refine import find_rem_ids, merge_refined, sort_rem_ids
 from .report import ApproxRefineResult, BaselineResult
 
 
-def _resolve_sorter(sorter: "BaseSorter | str") -> BaseSorter:
+def _resolve_sorter(
+    sorter: "BaseSorter | str", kernels: "str | None" = None
+) -> BaseSorter:
     if isinstance(sorter, str):
-        return make_sorter(sorter)
+        return make_sorter(sorter, **({} if kernels is None else {"kernels": kernels}))
+    if kernels is not None and sorter.kernels != kernels:
+        return with_kernels(sorter, kernels)
     return sorter
 
 
@@ -50,6 +54,7 @@ def run_approx_refine(
     memory: ApproxMemoryFactory,
     seed: int = 0,
     trace=None,
+    kernels: "str | None" = None,
 ) -> ApproxRefineResult:
     """Sort ``keys`` exactly via the approx-refine mechanism.
 
@@ -64,6 +69,10 @@ def run_approx_refine(
         Approximate-memory technology/configuration factory.
     seed:
         Seed for the run's corruption randomness.
+    kernels:
+        Execution-path override (``"scalar"``/``"numpy"``) applied to the
+        sorter and the refine-stage functions; ``None`` keeps the sorter's
+        own mode and the ``REPRO_KERNELS`` process default.
     trace:
         Optional :class:`repro.pcmsim.trace.TraceRecorder`: when given,
         every accounted access of the pipeline's main arrays (Key0, ID,
@@ -78,7 +87,7 @@ def run_approx_refine(
     An :class:`ApproxRefineResult` whose ``final_keys`` is exactly
     ``sorted(keys)`` — the mechanism guarantees precise output.
     """
-    algorithm = _resolve_sorter(sorter)
+    algorithm = _resolve_sorter(sorter, kernels)
     n = len(keys)
     stats = MemoryStats()
     stage_stats: dict[str, MemoryStats] = {}
@@ -115,11 +124,11 @@ def run_approx_refine(
     mark = close_stage("refine_preparation", mark)
 
     # Refine step 1: find LIS~ / REMID~.
-    rem_ids = find_rem_ids(ids, key0)
+    rem_ids = find_rem_ids(ids, key0, kernels=kernels)
     mark = close_stage("refine_find_rem", mark)
 
     # Refine step 2: sort REMID~ by key value.
-    sorted_rem_ids = sort_rem_ids(rem_ids, key0, algorithm, stats)
+    sorted_rem_ids = sort_rem_ids(rem_ids, key0, algorithm, stats, kernels=kernels)
     mark = close_stage("refine_sort_rem", mark)
 
     # Refine step 3: merge into the final precise output.
@@ -131,7 +140,7 @@ def run_approx_refine(
         [0] * n, stats=stats, name="finalID",
         trace=hook("finalID", "precise"),
     )
-    merge_refined(ids, key0, sorted_rem_ids, final_keys, final_ids)
+    merge_refined(ids, key0, sorted_rem_ids, final_keys, final_ids, kernels=kernels)
     close_stage("refine_merge", mark)
 
     return ApproxRefineResult(
@@ -151,14 +160,15 @@ def run_precise_baseline(
     keys: Sequence[int],
     sorter: "BaseSorter | str",
     trace=None,
+    kernels: "str | None" = None,
 ) -> BaselineResult:
     """Traditional sort entirely in precise memory (Equation 2's baseline).
 
     Keys and IDs both live in precise memory; total cost is
-    ``2 * alpha_alg(n)`` writes (keys plus record IDs).  ``trace`` works as
-    in :func:`run_approx_refine`.
+    ``2 * alpha_alg(n)`` writes (keys plus record IDs).  ``trace`` and
+    ``kernels`` work as in :func:`run_approx_refine`.
     """
-    algorithm = _resolve_sorter(sorter)
+    algorithm = _resolve_sorter(sorter, kernels)
     stats = MemoryStats()
 
     def hook(name: str, region: str):
@@ -214,6 +224,7 @@ def run_approx_only(
     memory: ApproxMemoryFactory,
     seed: int = 0,
     include_ids: bool = False,
+    kernels: "str | None" = None,
 ) -> ApproxOnlyResult:
     """Sort entirely in approximate memory — the paper's Step-1 study.
 
@@ -222,7 +233,7 @@ def run_approx_only(
     ``include_ids`` is set.  The initial placement of the keys in
     approximate memory is accounted, as is every write of the sort.
     """
-    algorithm = _resolve_sorter(sorter)
+    algorithm = _resolve_sorter(sorter, kernels)
     n = len(keys)
     stats = MemoryStats()
     approx_keys = memory.make_array([0] * n, stats=stats, seed=seed)

@@ -19,8 +19,12 @@ inputs from primitive arguments and derives randomness only from its own
 seeds, never from shared mutable state.
 
 ``--bench-json [PATH]`` appends a wall-clock record (per-experiment and
-total seconds, plus the scale/seed/jobs configuration) to a JSON array file,
-``BENCH_runner.json`` by default.
+total seconds, plus the scale/seed/jobs/kernels configuration) to a JSON
+array file, ``BENCH_runner.json`` by default.
+
+``--kernels numpy`` exports ``REPRO_KERNELS=numpy`` for the whole run
+(workers included), switching every sorter and refine call to the
+vectorized kernels; accounted counts are unchanged (DESIGN.md section 8).
 """
 
 from __future__ import annotations
@@ -34,6 +38,8 @@ from concurrent.futures import ProcessPoolExecutor
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Callable
+
+from repro.kernels import KERNEL_MODES, KERNELS_ENV, resolve_kernels
 
 from .common import ExperimentTable, SCALES, resolve_scale
 
@@ -151,7 +157,18 @@ def main(argv: list[str] | None = None) -> int:
         help="append per-experiment wall-clock seconds to a JSON array"
         " file (default PATH: BENCH_runner.json)",
     )
+    parser.add_argument(
+        "--kernels", choices=sorted(KERNEL_MODES), default=None,
+        help="execution kernels for every sorter/refine call: 'numpy'"
+        " enables the vectorized fast path (same accounted counts),"
+        " 'scalar' forces the reference loops; default: the"
+        f" {KERNELS_ENV} environment variable, else scalar",
+    )
     args = parser.parse_args(argv)
+    if args.kernels is not None:
+        # Exported (not passed down) so fork-inherited worker processes and
+        # every make_sorter()/refine call see the same mode.
+        os.environ[KERNELS_ENV] = args.kernels
 
     if args.list:
         for name in EXPERIMENTS:
@@ -192,6 +209,7 @@ def main(argv: list[str] | None = None) -> int:
             "seed": args.seed,
             "jobs": args.jobs,
             "cpus": os.cpu_count(),
+            "kernels": resolve_kernels(args.kernels),
             "experiments": {name: round(t, 3) for name, t in timings.items()},
             "total_s": round(total, 3),
         }

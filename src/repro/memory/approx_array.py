@@ -79,9 +79,24 @@ class InstrumentedArray:
     Subclasses implement :meth:`write`; reads, bulk helpers and unaccounted
     inspection are shared.  ``region`` labels the trace events the array
     emits.
+
+    Besides the scalar interface, arrays expose *accounted batch
+    primitives* (:meth:`read_block_np`, :meth:`write_block_np`,
+    :meth:`gather_np`, :meth:`scatter_np`) that move numpy arrays in and
+    out without per-element Python calls while charging exactly one
+    accounted access per element — the foundation of the vectorized sort
+    kernels (DESIGN.md section 8).  The base-class implementations fall
+    back to the scalar path so any subclass stays correct; the concrete
+    memory types override them with vectorized versions.
     """
 
     region = "precise"
+
+    #: Whether the vectorized sort kernels may drive this array through the
+    #: batch primitives.  Wrappers whose semantics depend on per-element
+    #: access *order* (e.g. the write-combining buffer) set this False and
+    #: the kernels fall back to the scalar path.
+    kernel_safe = True
 
     def __init__(
         self,
@@ -151,11 +166,57 @@ class InstrumentedArray:
         for offset, value in enumerate(values):
             self.write(start + offset, value)
 
+    # -- accounted batch primitives (numpy in, numpy out) ---------------- #
+
+    def read_block_np(self, start: int, count: int) -> np.ndarray:
+        """Accounted sequential read returning a ``np.uint32`` copy.
+
+        Accounting is identical to :meth:`read_block` (one read per
+        element); the result never round-trips through a Python list.
+        """
+        return np.asarray(self.read_block(start, count), dtype=np.uint32)
+
+    def write_block_np(self, start: int, values: np.ndarray) -> None:
+        """Accounted sequential write of a numpy block (same as write_block)."""
+        self.write_block(start, values)
+
+    def gather_np(self, indices: np.ndarray) -> np.ndarray:
+        """Accounted read of arbitrary (possibly repeated) indices.
+
+        Charges exactly ``len(indices)`` reads — the batched equivalent of
+        a loop of scalar :meth:`read` calls over ``indices``.
+        """
+        return np.array(
+            [self.read(int(i)) for i in np.asarray(indices)], dtype=np.uint32
+        )
+
+    def scatter_np(self, indices: np.ndarray, values: np.ndarray) -> None:
+        """Accounted write of ``values[k]`` to ``indices[k]`` for every k.
+
+        Charges exactly ``len(indices)`` writes; with repeated indices the
+        last write wins, as in the scalar loop it replaces.
+        """
+        for i, v in zip(np.asarray(indices), np.asarray(values)):
+            self.write(int(i), int(v))
+
+    def peek_block_np(self, start: int, count: int) -> np.ndarray:
+        """Unaccounted numpy copy of a slice — for kernels/metrics/oracles."""
+        return np.array(
+            [self.peek(i) for i in range(start, start + count)],
+            dtype=np.uint32,
+        )
+
     def _trace_block(self, op: str, start: int, count: int) -> None:
         """Emit one trace event per element of a block access."""
         trace = self.trace
         for i in range(start, start + count):
             trace(op, self.region, i)
+
+    def _trace_indices(self, op: str, indices: np.ndarray) -> None:
+        """Emit one trace event per element of a gather/scatter access."""
+        trace = self.trace
+        for i in indices:
+            trace(op, self.region, int(i))
 
 
 class PreciseArray(InstrumentedArray):
@@ -176,12 +237,36 @@ class PreciseArray(InstrumentedArray):
             self._trace_block("R", start, count)
         return self._data[start : start + count].tolist()
 
+    def read_block_np(self, start: int, count: int) -> np.ndarray:
+        self.stats.record_precise_read(count)
+        if self.trace is not None:
+            self._trace_block("R", start, count)
+        return self._data[start : start + count].copy()
+
     def write_block(self, start: int, values: Sequence[int]) -> None:
         checked = _as_words(values)
         self.stats.record_precise_write(checked.size)
         if self.trace is not None:
             self._trace_block("W", start, checked.size)
         self._data[start : start + checked.size] = checked
+
+    def gather_np(self, indices: np.ndarray) -> np.ndarray:
+        idx = np.asarray(indices, dtype=np.int64)
+        self.stats.record_precise_read(idx.size)
+        if self.trace is not None:
+            self._trace_indices("R", idx)
+        return self._data[idx]
+
+    def scatter_np(self, indices: np.ndarray, values: np.ndarray) -> None:
+        idx = np.asarray(indices, dtype=np.int64)
+        checked = _as_words(values)
+        self.stats.record_precise_write(idx.size)
+        if self.trace is not None:
+            self._trace_indices("W", idx)
+        self._data[idx] = checked
+
+    def peek_block_np(self, start: int, count: int) -> np.ndarray:
+        return self._data[start : start + count].copy()
 
     def read(self, index: int) -> int:
         self.stats.record_precise_read()
@@ -279,6 +364,42 @@ class ApproxArray(InstrumentedArray):
             self._trace_block("R", start, count)
         return self._data[start : start + count].tolist()
 
+    def read_block_np(self, start: int, count: int) -> np.ndarray:
+        self.stats.record_approx_read(count)
+        if self.trace is not None:
+            self._trace_block("R", start, count)
+        return self._data[start : start + count].copy()
+
+    def gather_np(self, indices: np.ndarray) -> np.ndarray:
+        idx = np.asarray(indices, dtype=np.int64)
+        self.stats.record_approx_read(idx.size)
+        if self.trace is not None:
+            self._trace_indices("R", idx)
+        return self._data[idx]
+
+    def scatter_np(self, indices: np.ndarray, values: np.ndarray) -> None:
+        """Accounted scatter: cost and corruption as a block write.
+
+        Per-word corruption comes from the same batched block sampler
+        (``corrupt_block`` on the block RNG stream) as :meth:`write_block`,
+        so scalar-vs-kernel corruption rates agree in distribution.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        vals = _as_words(values)
+        if idx.size == 0:
+            return
+        cost, p_ok = self.model.block_cost_and_no_error(vals)
+        units = float(cost.sum() / self.precise_iterations)
+        stored = self.model.corrupt_block(vals, self._np_rng, p_ok=p_ok)
+        corrupted = int(np.count_nonzero(stored != vals))
+        self.stats.record_approx_write_block(idx.size, units, corrupted)
+        if self.trace is not None:
+            self._trace_indices("W", idx)
+        self._data[idx] = stored
+
+    def peek_block_np(self, start: int, count: int) -> np.ndarray:
+        return self._data[start : start + count].copy()
+
     def _next_uniform(self) -> float:
         """One fast-path uniform from the batched scalar stream."""
         pos = self._u_pos
@@ -303,10 +424,9 @@ class ApproxArray(InstrumentedArray):
         vals = _as_words(values)
         if vals.size == 0:
             return
-        units = float(
-            self.model.block_write_cost(vals).sum() / self.precise_iterations
-        )
-        stored = self.model.corrupt_block(vals, self._np_rng)
+        cost, p_ok = self.model.block_cost_and_no_error(vals)
+        units = float(cost.sum() / self.precise_iterations)
+        stored = self.model.corrupt_block(vals, self._np_rng, p_ok=p_ok)
         corrupted = int(np.count_nonzero(stored != vals))
         self.stats.record_approx_write_block(vals.size, units, corrupted)
         if self.trace is not None:
@@ -323,4 +443,4 @@ class ApproxArray(InstrumentedArray):
             raise ValueError(
                 f"size mismatch: source {len(source)} vs destination {len(self)}"
             )
-        self.write_block(0, source.read_block(0, len(source)))
+        self.write_block(0, source.read_block_np(0, len(source)))

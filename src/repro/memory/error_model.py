@@ -318,6 +318,12 @@ class WordErrorModel:
         self._byte_iters_list = self._byte_iters.tolist()
         self._p_err_list = self._p_err.tolist()
         self._cond_cdf_list = [row.tolist() for row in self._cond_cdf]
+        # Per-halfword (16-bit) tables halve the lookup count of the block
+        # paths; 2 x 64 KiB entries of float64 is well worth the two table
+        # reads saved per word.
+        half = np.arange(65536)
+        self._half_p_ok = self._byte_p_ok[half & 0xFF] * self._byte_p_ok[half >> 8]
+        self._half_iters = self._byte_iters[half & 0xFF] + self._byte_iters[half >> 8]
 
     # ------------------------------------------------------------------ #
     # Aggregate statistics
@@ -460,18 +466,34 @@ class WordErrorModel:
     def block_no_error_probability(self, values: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`word_no_error_probability`."""
         vals = np.asarray(values, dtype=np.uint32)
-        t = self._byte_p_ok
-        return (
-            t[vals & np.uint32(0xFF)]
-            * t[(vals >> np.uint32(8)) & np.uint32(0xFF)]
-            * t[(vals >> np.uint32(16)) & np.uint32(0xFF)]
-            * t[(vals >> np.uint32(24)) & np.uint32(0xFF)]
-        )
+        t = self._half_p_ok
+        return t[vals & np.uint32(0xFFFF)] * t[vals >> np.uint32(16)]
+
+    def block_cost_and_no_error(
+        self, values: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """``(block_write_cost, block_no_error_probability)`` in one sweep.
+
+        The block write path needs both; sharing the halfword index
+        computation across the four 1-D table gathers (2-D row gathers
+        measure slower) shaves the common prefix.
+        """
+        vals = np.asarray(values, dtype=np.uint32)
+        lo = vals & np.uint32(0xFFFF)
+        hi = vals >> np.uint32(16)
+        cost = (self._half_iters[lo] + self._half_iters[hi]) / CELLS_PER_WORD
+        return cost, self._half_p_ok[lo] * self._half_p_ok[hi]
 
     def corrupt_block(
-        self, values: np.ndarray, rng: np.random.Generator
+        self,
+        values: np.ndarray,
+        rng: np.random.Generator,
+        p_ok: "np.ndarray | None" = None,
     ) -> np.ndarray:
         """Vectorized :meth:`corrupt_word` over an array of 32-bit values.
+
+        ``p_ok`` lets the caller pass precomputed per-word no-error
+        probabilities (e.g. from :meth:`block_cost_and_no_error`).
 
         Two regimes, both exact in distribution:
 
@@ -485,21 +507,73 @@ class WordErrorModel:
         vals = np.asarray(values, dtype=np.uint32)
         if vals.size == 0:
             return vals.copy()
-        p_ok = self.block_no_error_probability(vals)
+        if p_ok is None:
+            p_ok = self.block_no_error_probability(vals)
         expected_errors = vals.size - float(p_ok.sum())
         if expected_errors > vals.size * self._DENSE_ERROR_CUTOFF:
             return self._corrupt_block_dense(vals, rng)
         out = vals.copy()
         u = rng.random(vals.shape)
         err_idx = np.nonzero(u >= p_ok)[0]
-        for i in err_idx:
-            i = int(i)
-            out[i] = self._corrupt_word_slow(
-                int(vals[i]),
-                (float(u[i]) - float(p_ok[i])) / (1.0 - float(p_ok[i])),
-                rng,
-            )
+        if err_idx.size == 0:
+            return out
+        if err_idx.size <= 4:
+            # Batch overhead beats the scalar loop only past a few words.
+            for i in err_idx:
+                i = int(i)
+                out[i] = self._corrupt_word_slow(
+                    int(vals[i]),
+                    (float(u[i]) - float(p_ok[i])) / (1.0 - float(p_ok[i])),
+                    rng,
+                )
+            return out
+        u_resid = (u[err_idx] - p_ok[err_idx]) / (1.0 - p_ok[err_idx])
+        out[err_idx] = self._corrupt_words_batch(vals[err_idx], u_resid, rng)
         return out
+
+    def _corrupt_words_batch(
+        self, words: np.ndarray, u_first: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Vectorized :meth:`_corrupt_word_slow` over erring words.
+
+        Same exact conditional distribution — the recycled residual uniform
+        picks each word's first erring cell from its prefix-product CDF,
+        later cells err independently, erring cells resample their level
+        from the conditional transition CDF — with all draws batched.
+        """
+        e = words.size
+        shifts = (np.arange(CELLS_PER_WORD, dtype=np.uint32) * np.uint32(2))
+        bits = (words[:, None] >> shifts[None, :]) & np.uint32(3)
+        levels = self._bits_to_level_np[bits]
+        q = self._p_err[levels]
+
+        # P(first error at cell i) = prod_{j<i}(1 - q_j) * q_i.
+        prefix_ok = np.cumprod(1.0 - q, axis=1)
+        pmf = np.empty_like(q)
+        pmf[:, 0] = q[:, 0]
+        pmf[:, 1:] = prefix_ok[:, :-1] * q[:, 1:]
+        cdf = np.cumsum(pmf, axis=1)
+        target = (u_first * cdf[:, -1])[:, None]
+        first = np.minimum(
+            (target >= cdf).sum(axis=1), CELLS_PER_WORD - 1
+        )
+
+        cols = np.arange(CELLS_PER_WORD)
+        err_mask = (cols[None, :] == first[:, None]) | (
+            (cols[None, :] > first[:, None])
+            & (rng.random((e, CELLS_PER_WORD)) < q)
+        )
+        new_levels = (
+            rng.random((e, CELLS_PER_WORD))[:, :, None]
+            >= self._cond_cdf[levels]
+        ).sum(axis=2)
+        new_levels = np.minimum(new_levels, self.params.levels - 1)
+        new_bits = self._level_to_bits_np[new_levels]
+
+        stored = np.where(err_mask, new_bits, bits).astype(np.uint64)
+        return (
+            (stored << shifts[None, :].astype(np.uint64)).sum(axis=1)
+        ).astype(np.uint32)
 
     def _corrupt_block_dense(
         self, vals: np.ndarray, rng: np.random.Generator
@@ -526,9 +600,8 @@ class WordErrorModel:
     def block_write_cost(self, values: np.ndarray) -> np.ndarray:
         """Vectorized expected per-word write cost (#P per cell, averaged)."""
         vals = np.asarray(values, dtype=np.uint32)
-        total = np.zeros(vals.shape, dtype=np.float64)
-        for shift in (0, 8, 16, 24):
-            total += self._byte_iters[(vals >> np.uint32(shift)) & np.uint32(0xFF)]
+        it = self._half_iters
+        total = it[vals & np.uint32(0xFFFF)] + it[vals >> np.uint32(16)]
         return total / CELLS_PER_WORD
 
 

@@ -212,11 +212,31 @@ class PriorityWordErrorModel:
             * t[3][(vals >> np.uint32(24)) & np.uint32(0xFF)]
         )
 
-    def corrupt_block(self, values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    def block_cost_and_no_error(
+        self, values: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """``(block_write_cost, block_no_error_probability)`` pair.
+
+        Interface parity with ``WordErrorModel``; the per-position tables
+        make a fused gather less attractive here, so this simply composes
+        the two sweeps.
+        """
+        return (
+            self.block_write_cost(values),
+            self.block_no_error_probability(values),
+        )
+
+    def corrupt_block(
+        self,
+        values: np.ndarray,
+        rng: np.random.Generator,
+        p_ok: "np.ndarray | None" = None,
+    ) -> np.ndarray:
         vals = np.asarray(values, dtype=np.uint32)
         if vals.size == 0:
             return vals.copy()
-        p_ok = self.block_no_error_probability(vals)
+        if p_ok is None:
+            p_ok = self.block_no_error_probability(vals)
         expected_errors = vals.size - float(p_ok.sum())
         if expected_errors > vals.size * self._DENSE_ERROR_CUTOFF:
             return self._corrupt_block_dense(vals, rng)

@@ -137,6 +137,37 @@ class SpintronicArray(InstrumentedArray):
             self._trace_block("R", start, count)
         return self._data[start : start + count].tolist()
 
+    def read_block_np(self, start: int, count: int) -> np.ndarray:
+        self.stats.record_approx_read(count)
+        if self.trace is not None:
+            self._trace_block("R", start, count)
+        return self._data[start : start + count].copy()
+
+    def gather_np(self, indices: np.ndarray) -> np.ndarray:
+        idx = np.asarray(indices, dtype=np.int64)
+        self.stats.record_approx_read(idx.size)
+        if self.trace is not None:
+            self._trace_indices("R", idx)
+        return self._data[idx]
+
+    def scatter_np(self, indices: np.ndarray, values: np.ndarray) -> None:
+        """Accounted scatter; corruption from the batched block sampler."""
+        idx = np.asarray(indices, dtype=np.int64)
+        vals = _as_words(values)
+        if idx.size == 0:
+            return
+        stored = self.model.corrupt_block(vals, self._np_rng)
+        corrupted = int(np.count_nonzero(stored != vals))
+        self.stats.record_approx_write_block(
+            idx.size, self.model.write_cost * idx.size, corrupted
+        )
+        if self.trace is not None:
+            self._trace_indices("W", idx)
+        self._data[idx] = stored
+
+    def peek_block_np(self, start: int, count: int) -> np.ndarray:
+        return self._data[start : start + count].copy()
+
     def write(self, index: int, value: int) -> None:
         value = _check_word(value)
         stored = self.model.corrupt_word(value, self._rng)
@@ -166,4 +197,4 @@ class SpintronicArray(InstrumentedArray):
             raise ValueError(
                 f"size mismatch: source {len(source)} vs destination {len(self)}"
             )
-        self.write_block(0, source.read_block(0, len(source)))
+        self.write_block(0, source.read_block_np(0, len(source)))

@@ -40,6 +40,10 @@ class WriteCombiningArray(InstrumentedArray):
     measuring the backing store's final state directly.
     """
 
+    #: Combining depends on per-element access *order*; the vectorized sort
+    #: kernels must not reorder accesses through the batch primitives.
+    kernel_safe = False
+
     def __init__(self, backing: InstrumentedArray, capacity: int = 64) -> None:
         if capacity < 0:
             raise ValueError(f"capacity must be non-negative, got {capacity}")

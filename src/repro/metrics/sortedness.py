@@ -30,7 +30,25 @@ def longest_nondecreasing_subsequence_length(values: Sequence[int]) -> int:
     ``tails[k]`` holds the smallest possible tail of a non-decreasing
     subsequence of length ``k + 1``; each element replaces the first tail
     strictly greater than it (``bisect_right`` keeps duplicates admissible).
+
+    Nearly sorted inputs — the common case here, since Rem is mostly
+    evaluated on approx-stage outputs — are processed run by run with a
+    vectorized patience step; inputs with many runs fall back to the
+    element-wise bisect loop.
     """
+    n = len(values)
+    if n < 2:
+        return n
+    arr = np.asarray(values)
+    if arr.dtype != object:
+        starts = np.flatnonzero(arr[1:] < arr[:-1]) + 1
+        if starts.size < max(8, n // 4):
+            return _lnds_by_runs(arr, starts)
+    return _lnds_bisect(values)
+
+
+def _lnds_bisect(values: Sequence[int]) -> int:
+    """Reference element-wise patience loop (also the many-runs fallback)."""
     tails: list[int] = []
     for value in values:
         pos = bisect_right(tails, value)
@@ -39,6 +57,32 @@ def longest_nondecreasing_subsequence_length(values: Sequence[int]) -> int:
         else:
             tails[pos] = value
     return len(tails)
+
+
+def _lnds_by_runs(arr: np.ndarray, starts: np.ndarray) -> int:
+    """Patience sorting, one vectorized step per non-decreasing run.
+
+    Within a run ``b_0 <= ... <= b_{r-1}`` the pile index of ``b_k``
+    against the tails array *as of the run's start* is ``base_k =
+    bisect_right(tails, b_k)``; the elements placed earlier in the run
+    only lower tails at their own (strictly increasing) pile positions to
+    values ``<= b_k``, so the true position is ``p_k = max(base_k,
+    p_{k-1} + 1) = k + max_{j<=k}(base_j - j)`` — a running maximum.  The
+    piles touched by a run are strictly increasing, so the tail updates
+    are a single scatter.
+    """
+    n = arr.size
+    bounds = [0, *starts.tolist(), n]
+    tails = np.empty(n, dtype=arr.dtype)
+    length = 0
+    for s, e in zip(bounds[:-1], bounds[1:]):
+        run = arr[s:e]
+        offsets = np.arange(run.size)
+        base = np.searchsorted(tails[:length], run, side="right")
+        piles = np.maximum.accumulate(base - offsets) + offsets
+        tails[piles] = run
+        length = max(length, int(piles[-1]) + 1)
+    return length
 
 
 def rem(values: Sequence[int]) -> int:
@@ -60,12 +104,51 @@ def rem_ratio(values: Sequence[int]) -> float:
 def inversions(values: Sequence[int]) -> int:
     """Inv(X): number of pairs ``i < j`` with ``X[i] > X[j]`` (exact).
 
-    Computed by counting the swaps a stable mergesort would perform, using
-    numpy's stable argsort plus a Fenwick tree over ranks: O(n log n).
+    Computed by bottom-up merge counting with every level fully
+    vectorized: blocks are laid out as rows, the sorted left halves of
+    *all* blocks are searched at once by keying each block's values with a
+    disjoint offset, and the level's merge is a row-wise ``np.sort``.
+    Equal elements are not inversions (``side="right"``).  Falls back to a
+    Fenwick-tree loop for object dtypes or value ranges too wide to key.
     """
     n = len(values)
     if n < 2:
         return 0
+    arr = np.asarray(values)
+    if arr.dtype == object:
+        return _inversions_fenwick(values)
+    lo = int(arr.min())
+    span = int(arr.max()) - lo + 1
+    # Block keys must stay within int64: nrows * span < 2**62.
+    if span > (1 << 62) // max(1, n):
+        return _inversions_fenwick(values)
+
+    m = 1 << (n - 1).bit_length()
+    # Pad to a power of two with the global max: pads sort to the tail of
+    # every block they appear in and never count as an inversion.
+    work = np.full(m, span - 1, dtype=np.int64)
+    work[:n] = arr.astype(np.int64) - lo
+
+    count = 0
+    width = 1
+    while width < m:
+        blocks = work.reshape(-1, 2 * width)
+        nrows = blocks.shape[0]
+        row_key = np.arange(nrows, dtype=np.int64) * span
+        left_keyed = (blocks[:, :width] + row_key[:, None]).ravel()
+        right_keyed = (blocks[:, width:] + row_key[:, None]).ravel()
+        # For each right element: left elements <= it within its block.
+        le_counts = np.searchsorted(left_keyed, right_keyed, side="right")
+        le_counts -= np.repeat(np.arange(nrows, dtype=np.int64) * width, width)
+        count += int((width - le_counts).sum())
+        work = np.sort(blocks, axis=1).ravel()
+        width *= 2
+    return count
+
+
+def _inversions_fenwick(values: Sequence[int]) -> int:
+    """Reference O(n log n) Fenwick-tree count (also the generic fallback)."""
+    n = len(values)
     arr = np.asarray(values)
     # Ranks with ties broken by position keep the count exact for duplicates:
     # equal elements are not inversions.

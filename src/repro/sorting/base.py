@@ -16,6 +16,7 @@ from __future__ import annotations
 import math
 from typing import Optional, Protocol
 
+from repro.kernels import resolve_kernels
 from repro.memory.approx_array import InstrumentedArray
 
 
@@ -37,9 +38,42 @@ class Sorter(Protocol):
 
 
 class BaseSorter:
-    """Shared helpers: element swap/move mirrored across keys and IDs."""
+    """Shared helpers: element swap/move mirrored across keys and IDs.
+
+    Every sorter carries a ``kernels`` mode (``"scalar"``/``"numpy"``, or
+    ``None`` to resolve the process default from ``REPRO_KERNELS`` at sort
+    time).  The numpy mode routes the algorithm through the vectorized
+    kernels built on the arrays' accounted batch primitives; on precise
+    memory both modes produce bit-identical output and identical accounted
+    counts (see DESIGN.md section 8 and
+    ``tests/sorting/test_kernel_equivalence.py``).
+    """
 
     name = "base"
+
+    def __init__(self, kernels: Optional[str] = None) -> None:
+        if kernels is not None:
+            resolve_kernels(kernels)  # validate eagerly
+        self.kernels = kernels
+
+    def _use_numpy_kernels(
+        self, keys: InstrumentedArray, ids: Optional[InstrumentedArray]
+    ) -> bool:
+        """Whether to take the vectorized path for this (keys, ids) pair.
+
+        Falls back to scalar when a trace hook is attached (kernels batch
+        accesses, so per-event trace *order* would differ from the scalar
+        reference the pcmsim replay is calibrated against) or when either
+        array's semantics depend on element access order
+        (``kernel_safe = False``, e.g. the write-combining wrapper).
+        """
+        if resolve_kernels(self.kernels) != "numpy":
+            return False
+        if keys.trace is not None or not keys.kernel_safe:
+            return False
+        if ids is not None and (ids.trace is not None or not ids.kernel_safe):
+            return False
+        return True
 
     def sort(
         self, keys: InstrumentedArray, ids: Optional[InstrumentedArray] = None

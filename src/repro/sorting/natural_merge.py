@@ -17,6 +17,8 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+import numpy as np
+
 from repro.memory.approx_array import InstrumentedArray
 
 from .base import BaseSorter
@@ -32,7 +34,11 @@ class NaturalMergesort(BaseSorter):
         self, keys: InstrumentedArray, ids: Optional[InstrumentedArray]
     ) -> None:
         n = len(keys)
-        boundaries = self._detect_runs(keys)
+        use_np = self._use_numpy_kernels(keys, ids)
+        merge = Mergesort._merge_runs_np if use_np else Mergesort._merge_runs
+        boundaries = (
+            self._detect_runs_np(keys) if use_np else self._detect_runs(keys)
+        )
         if len(boundaries) <= 2:
             return  # already sorted: zero writes
 
@@ -51,7 +57,7 @@ class NaturalMergesort(BaseSorter):
             index = 0
             while index + 2 <= runs:
                 # Merge the run pair covering boundaries[index .. index+2].
-                Mergesort._merge_runs(
+                merge(
                     src_keys,
                     src_ids,
                     dst_keys,
@@ -65,9 +71,16 @@ class NaturalMergesort(BaseSorter):
             if index < runs:
                 # One unpaired trailing run: copy it across unchanged.
                 lo = boundaries[index]
-                dst_keys.write_block(lo, src_keys.read_block(lo, n - lo))
-                if dst_ids is not None and src_ids is not None:
-                    dst_ids.write_block(lo, src_ids.read_block(lo, n - lo))
+                if use_np:
+                    dst_keys.write_block(lo, src_keys.read_block_np(lo, n - lo))
+                    if dst_ids is not None and src_ids is not None:
+                        dst_ids.write_block(
+                            lo, src_ids.read_block_np(lo, n - lo)
+                        )
+                else:
+                    dst_keys.write_block(lo, src_keys.read_block(lo, n - lo))
+                    if dst_ids is not None and src_ids is not None:
+                        dst_ids.write_block(lo, src_ids.read_block(lo, n - lo))
                 new_boundaries.append(n)
             boundaries = new_boundaries
             src_keys, dst_keys = dst_keys, src_keys
@@ -75,9 +88,14 @@ class NaturalMergesort(BaseSorter):
                 src_ids, dst_ids = dst_ids, src_ids
 
         if src_keys is not keys:
-            keys.write_block(0, src_keys.read_block(0, n))
-            if ids is not None and src_ids is not None:
-                ids.write_block(0, src_ids.read_block(0, n))
+            if use_np:
+                keys.write_block(0, src_keys.read_block_np(0, n))
+                if ids is not None and src_ids is not None:
+                    ids.write_block(0, src_ids.read_block_np(0, n))
+            else:
+                keys.write_block(0, src_keys.read_block(0, n))
+                if ids is not None and src_ids is not None:
+                    ids.write_block(0, src_ids.read_block(0, n))
 
     @staticmethod
     def _detect_runs(keys: InstrumentedArray) -> list[int]:
@@ -92,6 +110,14 @@ class NaturalMergesort(BaseSorter):
             previous = current
         boundaries.append(n)
         return boundaries
+
+    @staticmethod
+    def _detect_runs_np(keys: InstrumentedArray) -> list[int]:
+        """Vectorized run detection; same ``n`` accounted reads as scalar."""
+        n = len(keys)
+        values = keys.read_block_np(0, n)
+        descents = np.flatnonzero(values[1:] < values[:-1]) + 1
+        return [0, *descents.tolist(), n]
 
     def expected_key_writes(self, n: int) -> float:
         """Random input has ~n/2 runs: ~n * log2(n/2) writes."""

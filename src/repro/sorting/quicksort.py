@@ -18,9 +18,16 @@ from __future__ import annotations
 import random
 from typing import Optional
 
+import numpy as np
+
 from repro.memory.approx_array import InstrumentedArray
 
 from .base import BaseSorter, nlog2n
+
+#: Segments below this size take the scalar partition even in numpy mode —
+#: the vectorized replay's fixed overhead beats Python loops only on larger
+#: segments, and both paths are bit-identical on precise memory anyway.
+_NUMPY_SEGMENT_CUTOFF = 64
 
 
 class Quicksort(BaseSorter):
@@ -36,19 +43,26 @@ class Quicksort(BaseSorter):
 
     name = "quicksort"
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, kernels: Optional[str] = None) -> None:
+        super().__init__(kernels)
+        self.seed = seed
         self._rng = random.Random(seed)
 
     def _sort(
         self, keys: InstrumentedArray, ids: Optional[InstrumentedArray]
     ) -> None:
+        partition = (
+            self._partition_np
+            if self._use_numpy_kernels(keys, ids)
+            else self._partition
+        )
         # Explicit stack, smaller side pushed last, keeps depth O(log n)
         # even if corruption produces degenerate partitions.
         stack = [(0, len(keys) - 1)]
         while stack:
             lo, hi = stack.pop()
             while lo < hi:
-                split = self._partition(keys, ids, lo, hi)
+                split = partition(keys, ids, lo, hi)
                 # Recurse into the smaller side first (iteratively: push the
                 # larger side, loop on the smaller one).
                 if split - lo < hi - split - 1:
@@ -94,6 +108,77 @@ class Quicksort(BaseSorter):
         # merely leaves keys[hi] unpartitioned (extra unsortedness, which is
         # exactly what the study measures) while guaranteeing termination.
         return min(j, hi - 1)
+
+    def _partition_np(
+        self,
+        keys: InstrumentedArray,
+        ids: Optional[InstrumentedArray],
+        lo: int,
+        hi: int,
+    ) -> int:
+        """Vectorized replay of the Hoare partition.
+
+        The scalar scans are deterministic given the segment snapshot: the
+        i-scan's k-th stop is ``L[k]`` (ascending offsets with value >=
+        pivot, offset 0 first, forced stop at ``count-1`` from the ``i <
+        hi`` guard) and the j-scan's is ``R[k]`` (descending offsets with
+        value <= pivot, forced stop at 0), *until* the crossing iteration
+        ``s`` — the first with ``L[s] >= R[s]`` — where a scan can instead
+        stop on a value swapped in earlier, giving ``i = min(L[s],
+        R[s-1])`` and ``j = max(R[s], L[s-1])``.  Swap pairs are ``(L[k],
+        R[k])`` for ``k < s``.  Reads/writes are re-issued as accounted
+        batch operations with exactly the scalar counts, so on precise
+        memory output, split and stats are bit-identical.  On approximate
+        memory the swap corruption comes from the block sampler instead of
+        the per-word stream, and a crossing-iteration stop on a
+        corrupted swapped-in value is not replayed — both only perturb
+        which rare corruption pattern occurs, not its statistics.
+        """
+        count = hi - lo + 1
+        if count < _NUMPY_SEGMENT_CUTOFF:
+            return self._partition(keys, ids, lo, hi)
+
+        p = self._rng.randint(lo, hi)
+        if p != lo:
+            self._swap(keys, ids, lo, p)
+        pivot = keys.read(lo)
+        seg = keys.peek_block_np(lo, count)  # unaccounted snapshot
+
+        stops_l = np.flatnonzero(seg[: count - 1] >= pivot)
+        stops_l = np.append(stops_l, count - 1)
+        stops_r = np.flatnonzero(seg[1:] <= pivot)[::-1] + 1
+        stops_r = np.append(stops_r, 0)
+
+        m = min(stops_l.size, stops_r.size)
+        L = stops_l[:m]
+        R = stops_r[:m]
+        s = int(np.flatnonzero(L >= R)[0])  # crossing always exists
+        if s == 0:
+            i_final, j_final = int(L[0]), int(R[0])
+        else:
+            i_final = min(int(L[s]), int(R[s - 1]))
+            j_final = max(int(R[s]), int(L[s - 1]))
+
+        # Scan reads: i touched offsets [0, min(i_final, count-2)], j
+        # touched [max(j_final, 1), count-1] (the guards skip hi and lo).
+        keys.read_block_np(lo, min(i_final, count - 2) + 1)
+        j_start = max(j_final, 1)
+        keys.read_block_np(lo + j_start, count - j_start)
+
+        if s > 0:
+            swap_idx = np.concatenate((L[:s], R[:s])) + lo
+            keys.gather_np(swap_idx)  # the swaps' accounted reads
+            keys.scatter_np(
+                swap_idx, np.concatenate((seg[R[:s]], seg[L[:s]]))
+            )
+            if ids is not None:
+                id_vals = ids.gather_np(swap_idx)
+                ids.scatter_np(
+                    swap_idx,
+                    np.concatenate((id_vals[s:], id_vals[:s])),
+                )
+
+        return lo + min(j_final, count - 2)
 
     def expected_key_writes(self, n: int) -> float:
         """alpha_quicksort(n) ~ n*log2(n)/2 (paper Section 4.3)."""

@@ -20,16 +20,19 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+import numpy as np
+
 from repro.memory.approx_array import InstrumentedArray
 
 from .base import BaseSorter
-from .radix import lsd_digit_plan, msd_digit_plan
+from .radix import _digits_np, lsd_digit_plan, msd_digit_plan
 
 
 class HistogramLSDRadixSort(BaseSorter):
     """Counting-based LSD radix sort: one key write per element per pass."""
 
-    def __init__(self, bits: int = 6) -> None:
+    def __init__(self, bits: int = 6, kernels: Optional[str] = None) -> None:
+        super().__init__(kernels)
         self.bits = bits
         self._plan = lsd_digit_plan(bits)
         self.name = f"hlsd{bits}"
@@ -44,6 +47,9 @@ class HistogramLSDRadixSort(BaseSorter):
         dst_ids = (
             ids.clone_empty(name=f"{ids.name}.radix-buffer") if ids is not None else None
         )
+        if self._use_numpy_kernels(keys, ids):
+            self._sort_numpy(keys, ids, dst_keys, dst_ids)
+            return
 
         for shift, mask in self._plan:
             values = src_keys.read_block(0, n)
@@ -83,6 +89,38 @@ class HistogramLSDRadixSort(BaseSorter):
             if ids is not None and src_ids is not None:
                 ids.write_block(0, src_ids.read_block(0, n))
 
+    def _sort_numpy(
+        self,
+        keys: InstrumentedArray,
+        ids: Optional[InstrumentedArray],
+        dst_keys: InstrumentedArray,
+        dst_ids: Optional[InstrumentedArray],
+    ) -> None:
+        """Vectorized passes: the counting-sort permutation of a pass is
+        exactly the stable-argsort order of its digits, so outputs and the
+        ``n`` reads + ``n`` writes per pass match the scalar path."""
+        n = len(keys)
+        src_keys: InstrumentedArray = keys
+        src_ids = ids
+        for shift, mask in self._plan:
+            values = src_keys.read_block_np(0, n)
+            id_values = src_ids.read_block_np(0, n) if src_ids is not None else None
+
+            order = np.argsort(_digits_np(values, shift, mask), kind="stable")
+
+            dst_keys.write_block(0, values[order])
+            if dst_ids is not None and id_values is not None:
+                dst_ids.write_block(0, id_values[order])
+
+            src_keys, dst_keys = dst_keys, src_keys
+            if ids is not None:
+                src_ids, dst_ids = dst_ids, src_ids
+
+        if src_keys is not keys:
+            keys.write_block(0, src_keys.read_block_np(0, n))
+            if ids is not None and src_ids is not None:
+                ids.write_block(0, src_ids.read_block_np(0, n))
+
     def expected_key_writes(self, n: int) -> float:
         """alpha_hLSD(n): one write per element per pass (+ odd-pass copy)."""
         passes = len(self._plan)
@@ -94,7 +132,8 @@ class HistogramLSDRadixSort(BaseSorter):
 class HistogramMSDRadixSort(BaseSorter):
     """Counting-based MSD radix sort: one key write per element per level."""
 
-    def __init__(self, bits: int = 6) -> None:
+    def __init__(self, bits: int = 6, kernels: Optional[str] = None) -> None:
+        super().__init__(kernels)
         self.bits = bits
         self._plan = msd_digit_plan(bits)
         self.name = f"hmsd{bits}"
@@ -102,13 +141,18 @@ class HistogramMSDRadixSort(BaseSorter):
     def _sort(
         self, keys: InstrumentedArray, ids: Optional[InstrumentedArray]
     ) -> None:
+        permute = (
+            self._permute_segment_np
+            if self._use_numpy_kernels(keys, ids)
+            else self._permute_segment
+        )
         stack = [(0, len(keys), 0)]
         while stack:
             lo, hi, depth = stack.pop()
             if hi - lo <= 1 or depth >= len(self._plan):
                 continue
             shift, mask = self._plan[depth]
-            sub_bounds = self._permute_segment(keys, ids, lo, hi, shift, mask)
+            sub_bounds = permute(keys, ids, lo, hi, shift, mask)
             for sub_lo, sub_hi in sub_bounds:
                 if sub_hi - sub_lo > 1:
                     stack.append((sub_lo, sub_hi, depth + 1))
@@ -160,6 +204,36 @@ class HistogramMSDRadixSort(BaseSorter):
             if c:
                 bounds.append((offset, offset + c))
                 offset += c
+        return bounds
+
+    @staticmethod
+    def _permute_segment_np(
+        keys: InstrumentedArray,
+        ids: Optional[InstrumentedArray],
+        lo: int,
+        hi: int,
+        shift: int,
+        mask: int,
+    ) -> list[tuple[int, int]]:
+        """Vectorized histogram + permute of ``keys[lo:hi]``."""
+        count = hi - lo
+        values = keys.read_block_np(lo, count)
+        id_values = ids.read_block_np(lo, count) if ids is not None else None
+
+        digits = _digits_np(values, shift, mask)
+        order = np.argsort(digits, kind="stable")
+        sizes = np.bincount(digits, minlength=mask + 1)
+
+        keys.write_block(lo, values[order])
+        if ids is not None and id_values is not None:
+            ids.write_block(lo, id_values[order])
+
+        bounds = []
+        offset = lo
+        for size in sizes:
+            if size:
+                bounds.append((offset, offset + int(size)))
+                offset += int(size)
         return bounds
 
     def expected_key_writes(self, n: int) -> float:

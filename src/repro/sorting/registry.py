@@ -62,6 +62,16 @@ def make_sorter(name: str, **kwargs) -> BaseSorter:
 
 def _implicit_kwargs(instance: BaseSorter) -> dict:
     """Constructor kwargs that reproduce ``instance``'s configuration."""
+    kwargs: dict = {}
     if hasattr(instance, "bits"):
-        return {"bits": instance.bits}
-    return {}
+        kwargs["bits"] = instance.bits
+    if hasattr(instance, "seed"):
+        kwargs["seed"] = instance.seed
+    if getattr(instance, "kernels", None) is not None:
+        kwargs["kernels"] = instance.kernels
+    return kwargs
+
+
+def with_kernels(sorter: BaseSorter, kernels: "str | None") -> BaseSorter:
+    """A copy of ``sorter`` configured for the given kernel mode."""
+    return type(sorter)(**{**_implicit_kwargs(sorter), "kernels": kernels})

@@ -1,0 +1,176 @@
+"""Accounting contract of the numpy batch primitives (DESIGN.md section 8).
+
+Every batch primitive charges exactly one accounted access per element —
+the same counts as the element-wise loop it replaces — and approximate
+scatters draw per-word corruption from the same batched block sampler as
+``write_block``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.memory.approx_array import ApproxArray, InstrumentedArray, PreciseArray
+from repro.memory.config import MLCParams, SpintronicParams
+from repro.memory.error_model import get_model, precise_reference_model
+from repro.memory.spintronic import SpintronicArray, SpintronicErrorModel
+from repro.memory.stats import MemoryStats
+
+FIT = 8_000
+
+
+@pytest.fixture(scope="module")
+def pcm_model():
+    return get_model(MLCParams(t=0.055), samples_per_level=FIT)
+
+
+@pytest.fixture(scope="module")
+def precise_iterations():
+    return precise_reference_model(
+        MLCParams(t=0.055), FIT
+    ).avg_word_iterations
+
+
+def make_approx(pcm_model, precise_iterations, data, stats, seed=0):
+    return ApproxArray(
+        data,
+        model=pcm_model,
+        precise_iterations=precise_iterations,
+        stats=stats,
+        seed=seed,
+    )
+
+
+class TestPreciseArray:
+    def test_read_block_np_counts_and_values(self):
+        stats = MemoryStats()
+        arr = PreciseArray(range(10, 20), stats=stats)
+        block = arr.read_block_np(2, 5)
+        assert block.tolist() == [12, 13, 14, 15, 16]
+        assert block.dtype == np.uint32
+        assert stats.precise_reads == 5
+
+    def test_gather_scatter_counts(self):
+        stats = MemoryStats()
+        arr = PreciseArray([0] * 8, stats=stats)
+        arr.scatter_np(np.array([1, 3, 5]), np.array([11, 33, 55]))
+        assert stats.precise_writes == 3
+        got = arr.gather_np(np.array([5, 1, 3]))
+        assert got.tolist() == [55, 11, 33]
+        assert stats.precise_reads == 3
+
+    def test_peek_block_np_unaccounted(self):
+        stats = MemoryStats()
+        arr = PreciseArray(range(6), stats=stats)
+        assert arr.peek_block_np(0, 6).tolist() == list(range(6))
+        assert stats.precise_reads == 0
+
+    def test_scatter_duplicate_index_last_write_wins(self):
+        stats = MemoryStats()
+        arr = PreciseArray([0] * 4, stats=stats)
+        arr.scatter_np(np.array([2, 2]), np.array([7, 9]))
+        assert stats.precise_writes == 2  # both writes accounted
+        assert arr.peek(2) == 9
+
+    def test_scatter_rejects_out_of_range_values(self):
+        arr = PreciseArray([0] * 4)
+        with pytest.raises(ValueError):
+            arr.scatter_np(np.array([0]), np.array([2**32]))
+
+
+class TestApproxArray:
+    def test_batch_counts(self, pcm_model, precise_iterations):
+        stats = MemoryStats()
+        arr = make_approx(pcm_model, precise_iterations, [0] * 32, stats)
+        arr.read_block_np(0, 32)
+        assert stats.approx_reads == 32
+        arr.gather_np(np.arange(16))
+        assert stats.approx_reads == 48
+
+    def test_scatter_units_match_write_block(
+        self, pcm_model, precise_iterations
+    ):
+        """Same values => same per-word cost accounting as write_block."""
+        values = np.arange(1000, 1200, dtype=np.uint32)
+        st_block = MemoryStats()
+        a_block = make_approx(
+            pcm_model, precise_iterations, [0] * 200, st_block, seed=1
+        )
+        a_block.write_block(0, values)
+        st_scatter = MemoryStats()
+        a_scatter = make_approx(
+            pcm_model, precise_iterations, [0] * 200, st_scatter, seed=1
+        )
+        a_scatter.scatter_np(np.arange(200), values)
+        assert st_scatter.approx_writes == st_block.approx_writes == 200
+        assert st_scatter.approx_write_units == pytest.approx(
+            st_block.approx_write_units
+        )
+
+    def test_scatter_corruption_counted_and_stored(
+        self, pcm_model, precise_iterations
+    ):
+        stats = MemoryStats()
+        n = 20_000
+        arr = make_approx(pcm_model, precise_iterations, [0] * n, stats, seed=3)
+        values = np.random.default_rng(7).integers(
+            0, 2**32, size=n, dtype=np.uint32
+        )
+        arr.scatter_np(np.arange(n), values)
+        stored = np.asarray(arr.to_list(), dtype=np.uint32)
+        deviations = int(np.count_nonzero(stored != values))
+        assert stats.corrupted_writes == deviations
+        assert deviations > 0  # at T=0.055 corruption is overwhelmingly likely
+
+    def test_scatter_duplicate_indices_all_accounted(
+        self, pcm_model, precise_iterations
+    ):
+        stats = MemoryStats()
+        arr = make_approx(pcm_model, precise_iterations, [0] * 4, stats)
+        arr.scatter_np(np.array([2, 2]), np.array([7, 9]))
+        assert stats.approx_writes == 2  # both writes cost, even if shadowed
+
+
+class TestSpintronicArray:
+    def test_scatter_energy_units(self):
+        model = SpintronicErrorModel(
+            SpintronicParams(energy_saving=0.5, bit_error_rate=1e-4)
+        )
+        stats = MemoryStats()
+        arr = SpintronicArray([0] * 50, model=model, stats=stats)
+        arr.scatter_np(np.arange(50), np.arange(50))
+        assert stats.approx_writes == 50
+        assert stats.approx_write_units == pytest.approx(0.5 * 50)
+
+    def test_read_block_np(self):
+        model = SpintronicErrorModel(
+            SpintronicParams(energy_saving=0.05, bit_error_rate=1e-7)
+        )
+        stats = MemoryStats()
+        arr = SpintronicArray(range(12), model=model, stats=stats)
+        assert arr.read_block_np(3, 4).tolist() == [3, 4, 5, 6]
+        assert stats.approx_reads == 4
+
+
+class TestBaseClassFallbacks:
+    """A subclass overriding only the scalar interface must stay correct."""
+
+    class MinimalArray(InstrumentedArray):
+        region = "precise"
+
+        def read(self, index):
+            self.stats.record_precise_read()
+            return int(self._mv[index])
+
+        def write(self, index, value):
+            self.stats.record_precise_write()
+            self._mv[index] = value
+
+    def test_fallbacks_route_through_scalar_interface(self):
+        stats = MemoryStats()
+        arr = self.MinimalArray(range(8), stats=stats)
+        assert arr.read_block_np(1, 3).tolist() == [1, 2, 3]
+        assert arr.gather_np(np.array([0, 7])).tolist() == [0, 7]
+        arr.scatter_np(np.array([4, 5]), np.array([44, 55]))
+        assert arr.peek_block_np(4, 2).tolist() == [44, 55]
+        assert stats.precise_writes == 2
+        assert stats.precise_reads >= 5

@@ -1,0 +1,125 @@
+"""Vectorized sortedness kernels vs their element-wise reference oracles.
+
+``longest_nondecreasing_subsequence_length`` dispatches between a run-wise
+vectorized patience step and the ``_lnds_bisect`` loop; ``inversions``
+between a level-vectorized merge count and the ``_inversions_fenwick``
+loop.  Both pairs must agree exactly on every input — the vectorized paths
+are pure optimizations.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.sortedness import (
+    _inversions_fenwick,
+    _lnds_bisect,
+    _lnds_by_runs,
+    inversions,
+    longest_nondecreasing_subsequence_length,
+)
+
+int_lists = st.lists(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+small_lists = st.lists(st.integers(min_value=0, max_value=9), max_size=200)
+
+
+def _lnds_vectorized(values):
+    """Force the run-wise kernel regardless of the dispatch heuristic."""
+    arr = np.asarray(values)
+    starts = np.flatnonzero(arr[1:] < arr[:-1]) + 1
+    return _lnds_by_runs(arr, starts)
+
+
+class TestLNDSOracle:
+    @settings(max_examples=100, deadline=None)
+    @given(values=int_lists)
+    def test_matches_bisect_reference(self, values):
+        assert longest_nondecreasing_subsequence_length(values) == _lnds_bisect(
+            values
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(values=small_lists)
+    def test_run_kernel_matches_reference_on_duplicates(self, values):
+        if len(values) < 2:
+            return
+        assert _lnds_vectorized(values) == _lnds_bisect(values)
+
+    def test_run_kernel_on_many_random_shapes(self):
+        rnd = random.Random(42)
+        for trial in range(60):
+            n = rnd.randrange(2, 300)
+            values = [rnd.randrange(50) for _ in range(n)]
+            assert _lnds_vectorized(values) == _lnds_bisect(values), values
+
+    def test_nearly_sorted_hits_vectorized_path(self):
+        rnd = random.Random(1)
+        values = sorted(rnd.randrange(10**6) for _ in range(5000))
+        for _ in range(4):
+            a, b = rnd.randrange(5000), rnd.randrange(5000)
+            values[a], values[b] = values[b], values[a]
+        assert longest_nondecreasing_subsequence_length(
+            values
+        ) == _lnds_bisect(values)
+
+    def test_negative_values(self):
+        values = [3, -1, -1, 0, -5, 2, 2, -2]  # LNDS: -1,-1,0,2,2
+        assert longest_nondecreasing_subsequence_length(values) == 5
+        assert _lnds_vectorized(values) == 5
+
+    def test_object_dtype_falls_back(self):
+        # Values beyond int64 force dtype=object; the bisect loop handles it.
+        big = 2**70
+        assert longest_nondecreasing_subsequence_length([big, 1, big + 1]) == 2
+
+
+class TestInversionsOracle:
+    @settings(max_examples=100, deadline=None)
+    @given(values=int_lists)
+    def test_matches_fenwick_reference(self, values):
+        assert inversions(values) == _inversions_fenwick(values)
+
+    @settings(max_examples=100, deadline=None)
+    @given(values=small_lists)
+    def test_duplicate_heavy(self, values):
+        assert inversions(values) == _inversions_fenwick(values)
+
+    def test_random_shapes(self):
+        rnd = random.Random(9)
+        for trial in range(40):
+            n = rnd.randrange(2, 400)
+            span = rnd.choice([2, 10, 10**6, 2**31])
+            values = [rnd.randrange(span) for _ in range(n)]
+            assert inversions(values) == _inversions_fenwick(values), (n, span)
+
+    def test_known_counts(self):
+        assert inversions([]) == 0
+        assert inversions([5]) == 0
+        assert inversions([1, 2, 3]) == 0
+        assert inversions([3, 2, 1]) == 3
+        assert inversions([2, 2, 2]) == 0  # equal pairs are not inversions
+        n = 257
+        assert inversions(list(range(n, 0, -1))) == n * (n - 1) // 2
+
+    def test_negative_values(self):
+        values = [0, -3, 5, -3, 2**31 - 1, -(2**31)]
+        assert inversions(values) == _inversions_fenwick(values)
+
+    def test_wide_span_falls_back_to_fenwick(self):
+        # span * n overflows the int64 block keying: must still be exact.
+        values = [2**62, 0, 2**62 - 1, 5] * 4
+        assert inversions(values) == _inversions_fenwick(values)
+
+
+class TestVectorizedPerfSanity:
+    def test_large_input_smoke(self):
+        """The vectorized paths handle a large mixed input end to end."""
+        rnd = np.random.default_rng(3)
+        values = np.sort(rnd.integers(0, 2**32, size=50_000, dtype=np.uint32))
+        values[::977] = rnd.integers(0, 2**32, size=values[::977].size)
+        lnds = longest_nondecreasing_subsequence_length(values)
+        assert 40_000 <= lnds <= 50_000
+        inv = inversions(values)
+        assert inv > 0
