@@ -151,6 +151,42 @@ def test_lsd_block_path_on_approx_memory(benchmark, model):
     benchmark(run)
 
 
+# -- tracing overhead (DESIGN.md section 9) ----------------------------- #
+
+
+@pytest.mark.parametrize("tracing", ["null", "active"])
+def test_lsd_block_path_tracing_overhead(benchmark, model, tracing, tmp_path):
+    """The LSD block path with tracing disabled vs writing a real trace.
+
+    The 'null' case is the shipped default (NullTracer, one ``enabled``
+    attribute check per guard site) and must be indistinguishable from the
+    pre-instrumentation timing; ``benchmarks/bench_obs.py`` turns that into
+    a recorded < 2% guard.  The 'active' case bounds the cost of running
+    with ``--trace`` on.
+    """
+    from repro.obs import NULL_TRACER, Tracer, close_tracer, set_tracer
+
+    keys = uniform_keys(4_096, seed=4)
+    tracer = (
+        Tracer(path=tmp_path / "bench-trace.jsonl")
+        if tracing == "active"
+        else NULL_TRACER
+    )
+    set_tracer(tracer)
+
+    def run():
+        array = ApproxArray(
+            [0] * len(keys), model=model, precise_iterations=3.0, seed=5
+        )
+        array.write_block(0, keys)
+        make_sorter("lsd6").sort(array)
+
+    try:
+        benchmark(run)
+    finally:
+        close_tracer()
+
+
 # -- kernelized execution path (DESIGN.md section 8) -------------------- #
 
 

@@ -31,6 +31,7 @@ from repro.memory.approx_array import PreciseArray
 from repro.memory.factories import ApproxMemoryFactory
 from repro.memory.stats import MemoryStats
 from repro.metrics.sortedness import error_rate_multiset, rem_ratio
+from repro.obs import StageRecorder, get_tracer
 from repro.sorting.base import BaseSorter
 from repro.sorting.registry import make_sorter, with_kernels
 
@@ -90,64 +91,73 @@ def run_approx_refine(
     algorithm = _resolve_sorter(sorter, kernels)
     n = len(keys)
     stats = MemoryStats()
-    stage_stats: dict[str, MemoryStats] = {}
+    tracer = get_tracer()
+    stages = StageRecorder(stats, tracer)
 
     def hook(name: str, region: str):
         return trace.hook_for(name, region) if trace is not None else None
 
-    def close_stage(name: str, opened: MemoryStats) -> MemoryStats:
-        stage_stats[name] = stats.delta_since(opened)
-        return stats.snapshot()
+    with tracer.span(
+        "approx_refine", stats=stats,
+        attrs={"algorithm": algorithm.name, "n": n,
+               "memory": memory.description, "seed": seed},
+    ):
+        # Stage: warm-up (allocation of the inputs; unaccounted by
+        # definition).
+        with stages.stage("warm_up"):
+            key0 = PreciseArray(
+                keys, stats=stats, name="Key0", trace=hook("Key0", "precise")
+            )
+            ids = PreciseArray(
+                range(n), stats=stats, name="ID", trace=hook("ID", "precise")
+            )
 
-    # Stage: warm-up (allocation of the inputs; unaccounted by definition).
-    mark = stats.snapshot()
-    key0 = PreciseArray(
-        keys, stats=stats, name="Key0", trace=hook("Key0", "precise")
-    )
-    ids = PreciseArray(
-        range(n), stats=stats, name="ID", trace=hook("ID", "precise")
-    )
-    mark = close_stage("warm_up", mark)
+        # Stage: approx preparation (accounted copy Key0 -> Key~).
+        with stages.stage("approx_preparation"):
+            approx_keys = memory.make_array([0] * n, stats=stats, seed=seed)
+            approx_keys.trace = hook("Key~", "approx")
+            approx_keys.load_from(key0)
 
-    # Stage: approx preparation (accounted copy Key0 -> Key~).
-    approx_keys = memory.make_array([0] * n, stats=stats, seed=seed)
-    approx_keys.trace = hook("Key~", "approx")
-    approx_keys.load_from(key0)
-    mark = close_stage("approx_preparation", mark)
+        # Stage: approx stage (the offloaded sort).
+        with stages.stage("approx_stage"):
+            algorithm.sort(approx_keys, ids)
+        approx_rem = rem_ratio(approx_keys.to_list())
 
-    # Stage: approx stage (the offloaded sort).
-    algorithm.sort(approx_keys, ids)
-    mark = close_stage("approx_stage", mark)
-    approx_rem = rem_ratio(approx_keys.to_list())
+        # Stage: refine preparation (nothing materialized — see module
+        # docs).
+        with stages.stage("refine_preparation"):
+            pass
 
-    # Stage: refine preparation (nothing materialized — see module docs).
-    mark = close_stage("refine_preparation", mark)
+        # Refine step 1: find LIS~ / REMID~.
+        with stages.stage("refine_find_rem"):
+            rem_ids = find_rem_ids(ids, key0, kernels=kernels)
 
-    # Refine step 1: find LIS~ / REMID~.
-    rem_ids = find_rem_ids(ids, key0, kernels=kernels)
-    mark = close_stage("refine_find_rem", mark)
+        # Refine step 2: sort REMID~ by key value.
+        with stages.stage("refine_sort_rem"):
+            sorted_rem_ids = sort_rem_ids(
+                rem_ids, key0, algorithm, stats, kernels=kernels
+            )
 
-    # Refine step 2: sort REMID~ by key value.
-    sorted_rem_ids = sort_rem_ids(rem_ids, key0, algorithm, stats, kernels=kernels)
-    mark = close_stage("refine_sort_rem", mark)
-
-    # Refine step 3: merge into the final precise output.
-    final_keys = PreciseArray(
-        [0] * n, stats=stats, name="finalKey",
-        trace=hook("finalKey", "precise"),
-    )
-    final_ids = PreciseArray(
-        [0] * n, stats=stats, name="finalID",
-        trace=hook("finalID", "precise"),
-    )
-    merge_refined(ids, key0, sorted_rem_ids, final_keys, final_ids, kernels=kernels)
-    close_stage("refine_merge", mark)
+        # Refine step 3: merge into the final precise output.
+        with stages.stage("refine_merge"):
+            final_keys = PreciseArray(
+                [0] * n, stats=stats, name="finalKey",
+                trace=hook("finalKey", "precise"),
+            )
+            final_ids = PreciseArray(
+                [0] * n, stats=stats, name="finalID",
+                trace=hook("finalID", "precise"),
+            )
+            merge_refined(
+                ids, key0, sorted_rem_ids, final_keys, final_ids,
+                kernels=kernels,
+            )
 
     return ApproxRefineResult(
         final_keys=final_keys.to_list(),
         final_ids=final_ids.to_list(),
         stats=stats,
-        stage_stats=stage_stats,
+        stage_stats=stages.stage_stats,
         rem_tilde=len(rem_ids),
         approx_rem_ratio=approx_rem,
         algorithm=algorithm.name,
@@ -174,13 +184,18 @@ def run_precise_baseline(
     def hook(name: str, region: str):
         return trace.hook_for(name, region) if trace is not None else None
 
-    key_array = PreciseArray(
-        keys, stats=stats, name="Key", trace=hook("Key", "precise")
-    )
-    id_array = PreciseArray(
-        range(len(keys)), stats=stats, name="ID", trace=hook("ID", "precise")
-    )
-    algorithm.sort(key_array, id_array)
+    with get_tracer().span(
+        "precise_baseline", stats=stats,
+        attrs={"algorithm": algorithm.name, "n": len(keys)},
+    ):
+        key_array = PreciseArray(
+            keys, stats=stats, name="Key", trace=hook("Key", "precise")
+        )
+        id_array = PreciseArray(
+            range(len(keys)), stats=stats, name="ID",
+            trace=hook("ID", "precise"),
+        )
+        algorithm.sort(key_array, id_array)
     return BaselineResult(
         final_keys=key_array.to_list(),
         final_ids=id_array.to_list(),

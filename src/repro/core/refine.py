@@ -34,6 +34,7 @@ import numpy as np
 from repro.kernels import resolve_kernels
 from repro.memory.approx_array import InstrumentedArray, PreciseArray
 from repro.memory.stats import MemoryStats
+from repro.obs import get_tracer
 from repro.sorting.base import BaseSorter
 
 
@@ -88,7 +89,9 @@ def find_rem_ids(
     if n == 0:
         return rem_ids
     if n > 1 and _use_np(kernels, ids, key0):
-        return _find_rem_ids_np(ids, key0, stats)
+        rem_ids = _find_rem_ids_np(ids, key0, stats)
+        _count_rem(rem_ids, n)
+        return rem_ids
 
     lis_tail = key0.read(ids.read(0))
     for i in range(1, n - 1):
@@ -105,7 +108,15 @@ def find_rem_ids(
         if lis_tail > last_key:
             rem_ids.append(ids.read(n - 1))
             stats.record_precise_write()
+    _count_rem(rem_ids, n)
     return rem_ids
+
+
+def _count_rem(rem_ids: list[int], n: int) -> None:
+    """Emit the Listing-1 split size (Rem~) when tracing is on."""
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.counter("refine.rem_count", len(rem_ids), attrs={"n": n})
 
 
 def _find_rem_ids_np(

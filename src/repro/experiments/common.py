@@ -25,9 +25,16 @@ from __future__ import annotations
 
 import json
 import os
+import sys
+import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
+
 SCALES = ("smoke", "default", "large")
+
+#: Environment variable: default seconds between heartbeat lines.
+HEARTBEAT_ENV = "REPRO_HEARTBEAT_S"
 
 #: Directory where bench runs persist their tables (JSON).
 RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
@@ -125,6 +132,56 @@ class ExperimentTable:
 def fmt_pct(value: float) -> str:
     """Format a ratio as a signed percentage for notes."""
     return f"{value * 100:+.1f}%"
+
+
+class Heartbeat:
+    """Periodic progress lines on stderr while a long run is in flight.
+
+    ``interval`` is the seconds between lines; ``None`` reads the
+    ``REPRO_HEARTBEAT_S`` environment variable (default 30) and ``0``
+    disables the thread entirely.  Call :meth:`start` only *after*
+    submitting work to a process pool — forking a process that already
+    carries threads is best avoided (and deprecated on newer Pythons).
+    """
+
+    def __init__(
+        self, label: str, total: int, interval: "float | None" = None
+    ) -> None:
+        if interval is None:
+            interval = float(os.environ.get(HEARTBEAT_ENV, "") or 30.0)
+        self.label = label
+        self.total = total
+        self.interval = interval
+        self._done = 0
+        self._stop = threading.Event()
+        self._thread: "threading.Thread | None" = None
+        self._t0 = time.perf_counter()
+
+    def start(self) -> "Heartbeat":
+        if self.interval > 0 and self._thread is None:
+            self._thread = threading.Thread(
+                target=self._beat, name="repro-heartbeat", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _beat(self) -> None:
+        while not self._stop.wait(self.interval):
+            elapsed = time.perf_counter() - self._t0
+            print(
+                f"[heartbeat] {self.label}: {self._done}/{self.total} done"
+                f" after {elapsed:.0f}s",
+                file=sys.stderr, flush=True,
+            )
+
+    def advance(self, n: int = 1) -> None:
+        self._done += n
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
 
 
 def map_cells(fn, cells: list[tuple], jobs: int = 1) -> list:

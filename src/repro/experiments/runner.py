@@ -25,6 +25,17 @@ array file, ``BENCH_runner.json`` by default.
 ``--kernels numpy`` exports ``REPRO_KERNELS=numpy`` for the whole run
 (workers included), switching every sorter and refine call to the
 vectorized kernels; accounted counts are unchanged (DESIGN.md section 8).
+
+``--trace [PATH]`` turns on structured tracing (DESIGN.md section 9):
+every process of the run appends span/counter/gauge events to its own
+per-pid JSONL file, and the runner merges them into ``PATH`` (default
+``trace.jsonl``) when the run finishes.  Analyze with ``python -m
+repro.obs.report PATH``.  ``--profile`` additionally runs each experiment
+under :mod:`cProfile`, dumping ``<name>.prof`` next to the trace.
+
+``--quiet`` suppresses the result tables (timing lines still print);
+``--heartbeat S`` prints a progress line to stderr every ``S`` seconds
+(default 30, ``0`` disables).
 """
 
 from __future__ import annotations
@@ -40,8 +51,10 @@ from pathlib import Path
 from typing import Callable
 
 from repro.kernels import KERNEL_MODES, KERNELS_ENV, resolve_kernels
+from repro.obs import TRACE_DIR_ENV, close_tracer, get_tracer
+from repro.obs.io import merge_traces
 
-from .common import ExperimentTable, SCALES, resolve_scale
+from .common import ExperimentTable, Heartbeat, SCALES, resolve_scale
 
 from . import (
     ablation_refine,
@@ -105,22 +118,55 @@ CELL_PARALLEL = frozenset({"fig09", "ext_variance"})
 
 
 def _run_single(
-    name: str, scale: str | None, seed: int, jobs: int = 1
+    name: str,
+    scale: str | None,
+    seed: int,
+    jobs: int = 1,
+    profile_dir: str | None = None,
 ) -> tuple[str, ExperimentTable, float]:
     """Run one experiment and time it (module-level so it pickles)."""
     kwargs = {"jobs": jobs} if jobs > 1 and name in CELL_PARALLEL else {}
+    profiler = None
+    if profile_dir is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     start = time.perf_counter()
-    table = EXPERIMENTS[name](scale=scale, seed=seed, **kwargs)
-    return name, table, time.perf_counter() - start
+    with get_tracer().span(
+        f"experiment.{name}",
+        attrs={"scale": resolve_scale(scale), "seed": seed, "jobs": jobs},
+    ):
+        table = EXPERIMENTS[name](scale=scale, seed=seed, **kwargs)
+    elapsed = time.perf_counter() - start
+    if profiler is not None:
+        profiler.disable()
+        profiler.dump_stats(str(Path(profile_dir) / f"{name}.prof"))
+    return name, table, elapsed
 
 
 def _append_bench_record(path: Path, record: dict) -> None:
-    """Append ``record`` to the JSON array in ``path`` (created if absent)."""
+    """Append ``record`` to the JSON array in ``path`` (created if absent).
+
+    A corrupt existing file is *not* silently discarded: it is moved aside
+    to ``<path>.bad`` (with a warning) so the history can be repaired, and
+    the new record starts a fresh array.
+    """
     records = []
     if path.exists():
         try:
             records = json.loads(path.read_text())
-        except (json.JSONDecodeError, OSError):
+        except (json.JSONDecodeError, OSError) as exc:
+            backup = path.with_name(path.name + ".bad")
+            try:
+                path.replace(backup)
+                where = f"backed up to {backup}"
+            except OSError:
+                where = "backup failed; leaving it in place"
+            print(
+                f"warning: existing {path} is unreadable ({exc}); {where}",
+                file=sys.stderr,
+            )
             records = []
         if not isinstance(records, list):
             records = [records]
@@ -164,6 +210,27 @@ def main(argv: list[str] | None = None) -> int:
         " 'scalar' forces the reference loops; default: the"
         f" {KERNELS_ENV} environment variable, else scalar",
     )
+    parser.add_argument(
+        "--trace", nargs="?", const="trace.jsonl", default=None,
+        metavar="PATH",
+        help="write structured span/counter/gauge events; per-process"
+        " part files are merged into PATH (default: trace.jsonl) when"
+        " the run finishes",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run each experiment under cProfile, dumping <name>.prof"
+        " next to the trace (or into the working directory)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress result tables; timing lines still print",
+    )
+    parser.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECONDS",
+        help="seconds between progress lines on stderr (default:"
+        " REPRO_HEARTBEAT_S or 30; 0 disables)",
+    )
     args = parser.parse_args(argv)
     if args.kernels is not None:
         # Exported (not passed down) so fork-inherited worker processes and
@@ -171,8 +238,9 @@ def main(argv: list[str] | None = None) -> int:
         os.environ[KERNELS_ENV] = args.kernels
 
     if args.list:
-        for name in EXPERIMENTS:
-            print(name)
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, fn in EXPERIMENTS.items():
+            print(f"{name:<{width}}  {_describe(fn)}")
         return 0
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -181,23 +249,69 @@ def main(argv: list[str] | None = None) -> int:
     if not names:
         parser.error("choose experiments with --exp/--all (or use --list)")
 
+    # Tracing: every process (this one and fork-inherited workers) appends
+    # to its own per-pid file in the parts directory; merged afterwards.
+    trace_path = Path(args.trace) if args.trace is not None else None
+    saved_trace_env = os.environ.get(TRACE_DIR_ENV)
+    parts_dir = None
+    if trace_path is not None:
+        parts_dir = Path(str(trace_path) + ".parts")
+        parts_dir.mkdir(parents=True, exist_ok=True)
+        os.environ[TRACE_DIR_ENV] = str(parts_dir)
+        close_tracer()  # lazy re-init picks up the new directory
+    profile_dir = None
+    if args.profile:
+        profile_dir = str(trace_path.parent) if trace_path is not None else "."
+        Path(profile_dir).mkdir(parents=True, exist_ok=True)
+
     timings: dict[str, float] = {}
+    heartbeat = Heartbeat("experiments", len(names), interval=args.heartbeat)
     wall_start = time.perf_counter()
-    if args.jobs > 1 and len(names) > 1:
-        # Fan whole experiments; print in submission order as they finish.
-        with ProcessPoolExecutor(max_workers=min(args.jobs, len(names))) as pool:
-            futures = [
-                pool.submit(_run_single, name, args.scale, args.seed)
+    try:
+        if args.jobs > 1 and len(names) > 1:
+            # Fan whole experiments; print in submission order as they
+            # finish.  The heartbeat thread starts only after the workers
+            # fork (threads and fork don't mix).
+            with ProcessPoolExecutor(
+                max_workers=min(args.jobs, len(names))
+            ) as pool:
+                futures = [
+                    pool.submit(
+                        _run_single, name, args.scale, args.seed, 1,
+                        profile_dir,
+                    )
+                    for name in names
+                ]
+                heartbeat.start()
+                results = (future.result() for future in futures)
+                _report(results, args, timings, heartbeat)
+        else:
+            heartbeat.start()
+            results = (
+                _run_single(
+                    name, args.scale, args.seed, jobs=args.jobs,
+                    profile_dir=profile_dir,
+                )
                 for name in names
-            ]
-            results = (future.result() for future in futures)
-            _report(results, args, timings)
-    else:
-        results = (
-            _run_single(name, args.scale, args.seed, jobs=args.jobs)
-            for name in names
-        )
-        _report(results, args, timings)
+            )
+            _report(results, args, timings, heartbeat)
+    finally:
+        heartbeat.stop()
+        if trace_path is not None:
+            close_tracer()  # flush this process's part file
+            if saved_trace_env is None:
+                os.environ.pop(TRACE_DIR_ENV, None)
+            else:
+                os.environ[TRACE_DIR_ENV] = saved_trace_env
+            parts = sorted(parts_dir.glob("trace-*.jsonl"))
+            count = merge_traces(parts, trace_path)
+            for part in parts:
+                part.unlink()
+            try:
+                parts_dir.rmdir()
+            except OSError:
+                pass  # foreign files in the parts dir: leave it
+            print(f"merged {count} trace events into {trace_path}")
     total = time.perf_counter() - wall_start
 
     if args.bench_json is not None:
@@ -219,13 +333,29 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
-def _report(results, args, timings: dict[str, float]) -> None:
+def _describe(fn: Callable) -> str:
+    """One-line description of an experiment: its module docstring's head."""
+    doc = sys.modules[fn.__module__].__doc__ or ""
+    for line in doc.splitlines():
+        line = line.strip()
+        if line:
+            return line
+    return ""
+
+
+def _report(
+    results, args, timings: dict[str, float], heartbeat: Heartbeat | None = None
+) -> None:
     """Print each finished table (and optionally save it)."""
     for name, table, elapsed in results:
         timings[name] = elapsed
-        print(table.to_text())
+        if heartbeat is not None:
+            heartbeat.advance()
+        if not args.quiet:
+            print(table.to_text())
         print(f"[{name} finished in {elapsed:.1f}s]")
-        print()
+        if not args.quiet:
+            print()
         if args.save:
             path = table.save()
             print(f"saved {path}")

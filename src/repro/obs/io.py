@@ -1,0 +1,60 @@
+"""Reading and merging trace JSONL files.
+
+Each traced process appends to its own ``trace-<pid>.jsonl`` (see
+:func:`repro.obs.tracer.get_tracer`), so a parallel run leaves one file per
+worker.  :func:`merge_traces` concatenates them into a single trace — events
+keep their per-process order and their ``pid`` field, so spans remain
+identified by ``(pid, id)`` after the merge.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+
+def iter_events(path: "str | Path") -> Iterator[dict]:
+    """Decode one trace file, skipping blank lines.
+
+    A truncated final line (a worker killed mid-write) raises
+    ``json.JSONDecodeError`` with the file and line number attached.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise json.JSONDecodeError(
+                    f"{path}:{lineno}: {exc.msg}", exc.doc, exc.pos
+                ) from None
+
+
+def read_traces(paths: Iterable["str | Path"]) -> list[dict]:
+    """All events of several trace files, in file order."""
+    events: list[dict] = []
+    for path in paths:
+        events.extend(iter_events(path))
+    return events
+
+
+def merge_traces(part_paths: Iterable["str | Path"], out_path: "str | Path") -> int:
+    """Concatenate per-process trace files into ``out_path``.
+
+    Parts are taken in sorted-path order (deterministic across runs); each
+    part's internal order is preserved.  Lines are validated to be JSON on
+    the way through, so a corrupt part fails loudly instead of producing a
+    silently broken merged trace.  Returns the number of merged events.
+    """
+    out_path = Path(out_path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with open(out_path, "w", encoding="utf-8") as out:
+        for part in sorted(Path(p) for p in part_paths):
+            for event in iter_events(part):
+                out.write(json.dumps(event, separators=(",", ":")) + "\n")
+                count += 1
+    return count

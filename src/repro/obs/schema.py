@@ -1,0 +1,131 @@
+"""The trace-event schema and a dependency-free validator.
+
+One JSON object per line.  Every event carries the envelope fields
+
+``ev``
+    Event type: ``meta`` | ``span_start`` | ``span_end`` | ``counter`` |
+    ``gauge``.
+``ts``
+    Seconds since the emitting tracer was created (monotonic clock; the
+    file's ``meta`` event carries the wall-clock ``epoch``).
+``seq``
+    Per-process emission index (gap-free within one file).
+``pid``
+    Emitting process id (spans are identified by ``(pid, id)`` after
+    several worker files are merged into one).
+
+Type-specific fields:
+
+``meta``
+    ``schema`` (version int), ``epoch`` (unix seconds), plus free-form
+    context (``argv``, experiment names, ...).
+``span_start``
+    ``id`` (per-process span id), ``parent`` (enclosing span id or null),
+    ``name``, optional ``attrs``.
+``span_end``
+    As ``span_start`` plus ``wall_s`` and — when a ``MemoryStats`` was
+    attached — ``stats`` (the delta accumulated inside the span),
+    ``cum_start`` and ``cum`` (cumulative counters at entry and exit).
+    Successive sibling spans over the same accumulator satisfy
+    ``cum_start == previous.cum`` verbatim, which is what lets the report
+    verify per-phase sums against aggregates by pure equality.
+``counter`` / ``gauge``
+    ``name``, numeric ``value``, ``span`` (enclosing span id or null),
+    optional ``attrs``.  Counters aggregate by summation, gauges by
+    min/mean/max.
+
+:func:`validate_event` returns a list of human-readable problems (empty for
+a conforming event); :func:`validate_events` maps it over a stream with
+line context.  Pure Python on purpose — the container has no jsonschema.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .tracer import SCHEMA_VERSION, STATS_FIELDS
+
+EVENT_TYPES = ("meta", "span_start", "span_end", "counter", "gauge")
+
+#: Envelope fields every event must carry (``ev`` checked separately).
+_ENVELOPE = (("ts", (int, float)), ("seq", int), ("pid", int))
+
+#: Integer stats fields (everything except the float write-units).
+_INT_STATS = tuple(f for f in STATS_FIELDS if f != "approx_write_units")
+
+
+def _check_stats(payload, field: str, problems: list[str]) -> None:
+    if not isinstance(payload, dict):
+        problems.append(f"{field} must be an object")
+        return
+    for name in STATS_FIELDS:
+        if name not in payload:
+            problems.append(f"{field} missing {name}")
+        elif name in _INT_STATS and not isinstance(payload[name], int):
+            problems.append(f"{field}.{name} must be an int")
+        elif not isinstance(payload[name], (int, float)):
+            problems.append(f"{field}.{name} must be numeric")
+    for name in payload:
+        if name not in STATS_FIELDS:
+            problems.append(f"{field} has unknown field {name}")
+
+
+def validate_event(event) -> list[str]:
+    """Problems with one decoded event; empty list means conforming."""
+    if not isinstance(event, dict):
+        return ["event is not a JSON object"]
+    problems: list[str] = []
+    ev = event.get("ev")
+    if ev not in EVENT_TYPES:
+        return [f"unknown event type {ev!r}"]
+    for field, types in _ENVELOPE:
+        if not isinstance(event.get(field), types):
+            problems.append(f"{field} missing or not {types}")
+    if ev == "meta":
+        if not isinstance(event.get("schema"), int):
+            problems.append("meta.schema missing or not an int")
+        elif event["schema"] != SCHEMA_VERSION:
+            problems.append(
+                f"meta.schema {event['schema']} != supported {SCHEMA_VERSION}"
+            )
+        if not isinstance(event.get("epoch"), (int, float)):
+            problems.append("meta.epoch missing or not numeric")
+    elif ev in ("span_start", "span_end"):
+        if not isinstance(event.get("id"), int):
+            problems.append("span id missing or not an int")
+        if not (event.get("parent") is None or isinstance(event["parent"], int)):
+            problems.append("span parent must be an int or null")
+        if not isinstance(event.get("name"), str):
+            problems.append("span name missing or not a string")
+        if "attrs" in event and not isinstance(event["attrs"], dict):
+            problems.append("attrs must be an object")
+        if ev == "span_end":
+            wall = event.get("wall_s")
+            if not isinstance(wall, (int, float)) or wall < 0:
+                problems.append("span_end.wall_s missing or negative")
+            stats_fields = [f for f in ("stats", "cum_start", "cum") if f in event]
+            if stats_fields and len(stats_fields) != 3:
+                problems.append(
+                    "span_end must carry all of stats/cum_start/cum or none"
+                )
+            for field in stats_fields:
+                _check_stats(event[field], field, problems)
+    else:  # counter / gauge
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{ev}.name missing or not a string")
+        if not isinstance(event.get("value"), (int, float)):
+            problems.append(f"{ev}.value missing or not numeric")
+        if not (event.get("span") is None or isinstance(event["span"], int)):
+            problems.append(f"{ev}.span must be an int or null")
+        if "attrs" in event and not isinstance(event["attrs"], dict):
+            problems.append("attrs must be an object")
+    return problems
+
+
+def validate_events(events: Iterable[dict]) -> list[str]:
+    """Validate a stream; returns problems prefixed with the event index."""
+    problems: list[str] = []
+    for index, event in enumerate(events):
+        for problem in validate_event(event):
+            problems.append(f"event {index}: {problem}")
+    return problems

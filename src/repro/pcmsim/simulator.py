@@ -15,9 +15,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.obs import get_tracer
+
 from .cache import CacheHierarchy, SetAssociativeCache
 from .config import SimulatorConfig, TABLE1_CONFIG
 from .trace import TraceEvent
+
+#: When tracing is enabled, sample the aggregate write-queue depth every
+#: ``_QUEUE_SAMPLE_EVERY`` replayed events (power of two; masked check).
+_QUEUE_SAMPLE_EVERY = 4096
 
 
 @dataclass
@@ -75,6 +81,8 @@ class PCMSimulator:
         write_stall_ns = 0.0
         memory_reads = 0
         memory_writes = 0
+        tracer = get_tracer()
+        events_seen = 0
 
         for event in trace:
             if event.op == "R":
@@ -93,8 +101,25 @@ class PCMSimulator:
                 write_stall_ns += stall
                 now += stall
                 memory_writes += 1
+            if tracer.enabled:
+                events_seen += 1
+                if not events_seen % _QUEUE_SAMPLE_EVERY:
+                    tracer.gauge(
+                        "pcmsim.queued_writes",
+                        sum(b.queued_writes for b in self.controller.banks),
+                    )
 
         now = self.controller.flush(now)
+        if tracer.enabled:
+            for bank in self.controller.banks:
+                attrs = {"bank": bank.index}
+                tracer.gauge(
+                    "pcmsim.bank.max_write_queue",
+                    bank.stats.max_write_queue, attrs=attrs,
+                )
+                tracer.gauge(
+                    "pcmsim.bank.busy_ns", bank.stats.busy_ns, attrs=attrs
+                )
         return TimingReport(
             total_ns=now,
             read_ns=read_ns,

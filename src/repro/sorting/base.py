@@ -18,6 +18,7 @@ from typing import Optional, Protocol
 
 from repro.kernels import resolve_kernels
 from repro.memory.approx_array import InstrumentedArray
+from repro.obs import get_tracer
 
 
 class Sorter(Protocol):
@@ -84,7 +85,17 @@ class BaseSorter:
             )
         if len(keys) < 2:
             return
-        self._sort(keys, ids)
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                f"sort.{self.name}", stats=keys.stats,
+                attrs={"algo": self.name, "n": len(keys),
+                       "kernels": resolve_kernels(self.kernels),
+                       "region": keys.region},
+            ):
+                self._sort(keys, ids)
+        else:
+            self._sort(keys, ids)
 
     # Subclasses implement the actual algorithm.
     def _sort(

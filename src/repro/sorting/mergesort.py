@@ -24,6 +24,7 @@ from typing import Optional
 import numpy as np
 
 from repro.memory.approx_array import InstrumentedArray
+from repro.obs import get_tracer
 
 from .base import BaseSorter, nlog2n
 
@@ -36,37 +37,68 @@ class Mergesort(BaseSorter):
     def _sort(
         self, keys: InstrumentedArray, ids: Optional[InstrumentedArray]
     ) -> None:
-        if self._use_numpy_kernels(keys, ids):
-            self._sort_numpy(keys, ids)
-            return
         n = len(keys)
         src_keys: InstrumentedArray = keys
         dst_keys = keys.clone_empty(name=f"{keys.name}.merge-buffer")
         src_ids = ids
         dst_ids = ids.clone_empty(name=f"{ids.name}.merge-buffer") if ids is not None else None
+        one_level = (
+            self._level_numpy
+            if self._use_numpy_kernels(keys, ids)
+            else self._level_scalar
+        )
 
+        tracer = get_tracer()
         width = 1
+        level = 0
         while width < n:
-            for lo in range(0, n, 2 * width):
-                mid = min(lo + width, n)
-                hi = min(lo + 2 * width, n)
-                self._merge_runs(src_keys, src_ids, dst_keys, dst_ids, lo, mid, hi)
+            if tracer.enabled:
+                with tracer.span(
+                    f"merge.level{level}", stats=keys.stats,
+                    attrs={"algo": self.name, "width": width},
+                ):
+                    one_level(src_keys, src_ids, dst_keys, dst_ids, n, width)
+            else:
+                one_level(src_keys, src_ids, dst_keys, dst_ids, n, width)
             src_keys, dst_keys = dst_keys, src_keys
             if ids is not None:
                 src_ids, dst_ids = dst_ids, src_ids
             width *= 2
+            level += 1
 
         if src_keys is not keys:
             # An odd number of passes left the result in the scratch buffer;
             # copy it home (accounted — these writes are real on hardware).
-            keys.write_block(0, src_keys.read_block(0, n))
-            if ids is not None and src_ids is not None:
-                ids.write_block(0, src_ids.read_block(0, n))
+            with tracer.span("merge.copy_home", stats=keys.stats):
+                keys.write_block(0, src_keys.read_block(0, n))
+                if ids is not None and src_ids is not None:
+                    ids.write_block(0, src_ids.read_block(0, n))
 
-    def _sort_numpy(
-        self, keys: InstrumentedArray, ids: Optional[InstrumentedArray]
+    def _level_scalar(
+        self,
+        src_keys: InstrumentedArray,
+        src_ids: Optional[InstrumentedArray],
+        dst_keys: InstrumentedArray,
+        dst_ids: Optional[InstrumentedArray],
+        n: int,
+        width: int,
     ) -> None:
-        """Level-at-a-time bottom-up passes on the batch primitives.
+        """One bottom-up level: merge every run pair of width ``width``."""
+        for lo in range(0, n, 2 * width):
+            mid = min(lo + width, n)
+            hi = min(lo + 2 * width, n)
+            self._merge_runs(src_keys, src_ids, dst_keys, dst_ids, lo, mid, hi)
+
+    def _level_numpy(
+        self,
+        src_keys: InstrumentedArray,
+        src_ids: Optional[InstrumentedArray],
+        dst_keys: InstrumentedArray,
+        dst_ids: Optional[InstrumentedArray],
+        n: int,
+        width: int,
+    ) -> None:
+        """One vectorized bottom-up level on the batch primitives.
 
         A scalar level performs exactly ``n`` reads and ``n`` writes (every
         element is read once and rewritten once across its pair merges), so
@@ -78,31 +110,14 @@ class Mergesort(BaseSorter):
         instead of one per pair merge), so runs agree statistically, not bit
         for bit.
         """
-        n = len(keys)
-        src_keys: InstrumentedArray = keys
-        dst_keys = keys.clone_empty(name=f"{keys.name}.merge-buffer")
-        src_ids = ids
-        dst_ids = ids.clone_empty(name=f"{ids.name}.merge-buffer") if ids is not None else None
-
-        width = 1
-        while width < n:
-            values = src_keys.read_block_np(0, n)
-            id_values = (
-                src_ids.read_block_np(0, n) if src_ids is not None else None
-            )
-            out, out_ids = _merge_level(values, id_values, width)
-            dst_keys.write_block(0, out)
-            if dst_ids is not None and out_ids is not None:
-                dst_ids.write_block(0, out_ids)
-            src_keys, dst_keys = dst_keys, src_keys
-            if ids is not None:
-                src_ids, dst_ids = dst_ids, src_ids
-            width *= 2
-
-        if src_keys is not keys:
-            keys.write_block(0, src_keys.read_block_np(0, n))
-            if ids is not None and src_ids is not None:
-                ids.write_block(0, src_ids.read_block_np(0, n))
+        values = src_keys.read_block_np(0, n)
+        id_values = (
+            src_ids.read_block_np(0, n) if src_ids is not None else None
+        )
+        out, out_ids = _merge_level(values, id_values, width)
+        dst_keys.write_block(0, out)
+        if dst_ids is not None and out_ids is not None:
+            dst_ids.write_block(0, out_ids)
 
     @staticmethod
     def _merge_runs(

@@ -21,6 +21,7 @@ from typing import Optional
 import numpy as np
 
 from repro.memory.approx_array import InstrumentedArray
+from repro.obs import get_tracer
 
 from .base import BaseSorter, nlog2n
 
@@ -56,21 +57,39 @@ class Quicksort(BaseSorter):
             if self._use_numpy_kernels(keys, ids)
             else self._partition
         )
+        tracer = get_tracer()
+        # Per-depth rollup (partitions performed, elements scanned) emitted
+        # as counters after the walk; only accumulated when tracing is on.
+        by_depth: dict[int, list[int]] = {}
         # Explicit stack, smaller side pushed last, keeps depth O(log n)
         # even if corruption produces degenerate partitions.
-        stack = [(0, len(keys) - 1)]
+        stack = [(0, len(keys) - 1, 0)]
         while stack:
-            lo, hi = stack.pop()
+            lo, hi, depth = stack.pop()
             while lo < hi:
+                if tracer.enabled:
+                    rollup = by_depth.setdefault(depth, [0, 0])
+                    rollup[0] += 1
+                    rollup[1] += hi - lo + 1
                 split = partition(keys, ids, lo, hi)
                 # Recurse into the smaller side first (iteratively: push the
                 # larger side, loop on the smaller one).
                 if split - lo < hi - split - 1:
-                    stack.append((split + 1, hi))
+                    stack.append((split + 1, hi, depth + 1))
                     hi = split
                 else:
-                    stack.append((lo, split))
+                    stack.append((lo, split, depth + 1))
                     lo = split + 1
+                depth += 1
+        for depth in sorted(by_depth):
+            partitions, elements = by_depth[depth]
+            depth_attrs = {"algo": self.name, "depth": depth}
+            tracer.counter(
+                "quicksort.depth.partitions", partitions, attrs=depth_attrs
+            )
+            tracer.counter(
+                "quicksort.depth.elements", elements, attrs=depth_attrs
+            )
 
     def _partition(
         self,

@@ -28,6 +28,7 @@ from typing import Optional
 import numpy as np
 
 from repro.memory.approx_array import InstrumentedArray
+from repro.obs import get_tracer
 
 from .base import BaseSorter
 
@@ -109,44 +110,69 @@ class LSDRadixSort(BaseSorter):
         bucket_ids = (
             ids.clone_empty(name=f"{ids.name}.buckets") if ids is not None else None
         )
-        if self._use_numpy_kernels(keys, ids):
-            self._sort_numpy(keys, ids, bucket_keys, bucket_ids)
-            return
-        n_buckets = (1 << self.bits)
-        for shift, mask in self._plan:
-            values = keys.read_block(0, n)
-            id_values = ids.read_block(0, n) if ids is not None else None
+        one_pass = (
+            self._pass_numpy
+            if self._use_numpy_kernels(keys, ids)
+            else self._pass_scalar
+        )
+        tracer = get_tracer()
+        for index, (shift, mask) in enumerate(self._plan):
+            if tracer.enabled:
+                with tracer.span(
+                    f"radix.pass{index}", stats=keys.stats,
+                    attrs={"algo": self.name, "shift": shift},
+                ):
+                    one_pass(keys, ids, bucket_keys, bucket_ids, shift, mask)
+            else:
+                one_pass(keys, ids, bucket_keys, bucket_ids, shift, mask)
 
-            # Stable distribution into queues (bucket contents preserve the
-            # incoming order — the property LSD's correctness relies on).
-            key_queues: list[list[int]] = [[] for _ in range(n_buckets)]
-            id_queues: list[list[int]] = [[] for _ in range(n_buckets)]
-            for pos, value in enumerate(values):
-                digit = (value >> shift) & mask
-                key_queues[digit].append(value)
-                if id_values is not None:
-                    id_queues[digit].append(id_values[pos])
-
-            # Write 1: append every element to its bucket queue.
-            concatenated_keys = [v for queue in key_queues for v in queue]
-            bucket_keys.write_block(0, concatenated_keys)
-            if bucket_ids is not None and id_values is not None:
-                concatenated_ids = [v for queue in id_queues for v in queue]
-                bucket_ids.write_block(0, concatenated_ids)
-
-            # Write 2: copy the concatenated queues back into the array.
-            keys.write_block(0, bucket_keys.read_block(0, n))
-            if ids is not None and bucket_ids is not None:
-                ids.write_block(0, bucket_ids.read_block(0, n))
-
-    def _sort_numpy(
+    def _pass_scalar(
         self,
         keys: InstrumentedArray,
         ids: Optional[InstrumentedArray],
         bucket_keys: InstrumentedArray,
         bucket_ids: Optional[InstrumentedArray],
+        shift: int,
+        mask: int,
     ) -> None:
-        """Vectorized passes: stable argsort over extracted digits.
+        """One queue-distribution pass over the whole array."""
+        n = len(keys)
+        n_buckets = (1 << self.bits)
+        values = keys.read_block(0, n)
+        id_values = ids.read_block(0, n) if ids is not None else None
+
+        # Stable distribution into queues (bucket contents preserve the
+        # incoming order — the property LSD's correctness relies on).
+        key_queues: list[list[int]] = [[] for _ in range(n_buckets)]
+        id_queues: list[list[int]] = [[] for _ in range(n_buckets)]
+        for pos, value in enumerate(values):
+            digit = (value >> shift) & mask
+            key_queues[digit].append(value)
+            if id_values is not None:
+                id_queues[digit].append(id_values[pos])
+
+        # Write 1: append every element to its bucket queue.
+        concatenated_keys = [v for queue in key_queues for v in queue]
+        bucket_keys.write_block(0, concatenated_keys)
+        if bucket_ids is not None and id_values is not None:
+            concatenated_ids = [v for queue in id_queues for v in queue]
+            bucket_ids.write_block(0, concatenated_ids)
+
+        # Write 2: copy the concatenated queues back into the array.
+        keys.write_block(0, bucket_keys.read_block(0, n))
+        if ids is not None and bucket_ids is not None:
+            ids.write_block(0, bucket_ids.read_block(0, n))
+
+    def _pass_numpy(
+        self,
+        keys: InstrumentedArray,
+        ids: Optional[InstrumentedArray],
+        bucket_keys: InstrumentedArray,
+        bucket_ids: Optional[InstrumentedArray],
+        shift: int,
+        mask: int,
+    ) -> None:
+        """Vectorized pass: stable argsort over the extracted digits.
 
         A stable sort by digit value yields exactly the queue-concatenation
         order of the scalar path, so outputs are bit-identical; the block
@@ -154,19 +180,18 @@ class LSDRadixSort(BaseSorter):
         pass as the scalar path.
         """
         n = len(keys)
-        for shift, mask in self._plan:
-            values = keys.read_block_np(0, n)
-            id_values = ids.read_block_np(0, n) if ids is not None else None
+        values = keys.read_block_np(0, n)
+        id_values = ids.read_block_np(0, n) if ids is not None else None
 
-            order = np.argsort(_digits_np(values, shift, mask), kind="stable")
+        order = np.argsort(_digits_np(values, shift, mask), kind="stable")
 
-            bucket_keys.write_block(0, values[order])
-            if bucket_ids is not None and id_values is not None:
-                bucket_ids.write_block(0, id_values[order])
+        bucket_keys.write_block(0, values[order])
+        if bucket_ids is not None and id_values is not None:
+            bucket_ids.write_block(0, id_values[order])
 
-            keys.write_block(0, bucket_keys.read_block_np(0, n))
-            if ids is not None and bucket_ids is not None:
-                ids.write_block(0, bucket_ids.read_block_np(0, n))
+        keys.write_block(0, bucket_keys.read_block_np(0, n))
+        if ids is not None and bucket_ids is not None:
+            ids.write_block(0, bucket_ids.read_block_np(0, n))
 
     def expected_key_writes(self, n: int) -> float:
         """alpha_LSD(n): two writes per element per pass."""
@@ -200,6 +225,10 @@ class MSDRadixSort(BaseSorter):
             if self._use_numpy_kernels(keys, ids)
             else self._partition_segment
         )
+        tracer = get_tracer()
+        # Per-depth rollup (segments partitioned, elements moved) emitted as
+        # counters after the walk; only accumulated when tracing is on.
+        by_depth: dict[int, list[int]] = {}
         # Explicit work stack instead of recursion: segments can be numerous
         # (64-way fan-out) and Python's recursion limit is easy to trip.
         stack = [(0, len(keys), 0)]
@@ -207,6 +236,10 @@ class MSDRadixSort(BaseSorter):
             lo, hi, depth = stack.pop()
             if hi - lo <= 1 or depth >= len(self._plan):
                 continue
+            if tracer.enabled:
+                rollup = by_depth.setdefault(depth, [0, 0])
+                rollup[0] += 1
+                rollup[1] += hi - lo
             shift, mask = self._plan[depth]
             sub_bounds = partition(
                 keys, ids, bucket_keys, bucket_ids, lo, hi, shift, mask
@@ -214,6 +247,11 @@ class MSDRadixSort(BaseSorter):
             for sub_lo, sub_hi in sub_bounds:
                 if sub_hi - sub_lo > 1:
                     stack.append((sub_lo, sub_hi, depth + 1))
+        for depth in sorted(by_depth):
+            segments, elements = by_depth[depth]
+            depth_attrs = {"algo": self.name, "depth": depth}
+            tracer.counter("msd.depth.segments", segments, attrs=depth_attrs)
+            tracer.counter("msd.depth.elements", elements, attrs=depth_attrs)
 
     @staticmethod
     def _partition_segment(

@@ -14,6 +14,14 @@ class TestRunnerCLI:
         assert "fig09" in out
         assert "pcmsim" in out
 
+    def test_list_includes_descriptions(self, capsys):
+        assert main(["--list"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        by_name = dict(line.split(None, 1) for line in lines)
+        # Each line is "<name>  <first docstring line>".
+        assert by_name["fig09"].startswith("Figure 9:")
+        assert all(desc.strip() for desc in by_name.values())
+
     def test_single_experiment(self, capsys):
         assert main(["--exp", "fig02", "--scale", "smoke"]) == 0
         out = capsys.readouterr().out
@@ -48,6 +56,12 @@ class TestRunnerCLI:
         with pytest.raises(SystemExit):
             main(["--exp", "fig02", "--jobs", "0"])
 
+    def test_quiet_suppresses_tables_keeps_timings(self, capsys):
+        assert main(["--exp", "fig02", "--scale", "smoke", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "== fig02" not in out
+        assert "[fig02 finished in" in out
+
     def test_bench_json_appends_records(self, capsys, tmp_path):
         path = tmp_path / "bench.json"
         for _ in range(2):
@@ -62,6 +76,19 @@ class TestRunnerCLI:
             assert record["jobs"] == 1
             assert set(record["experiments"]) == {"fig02"}
             assert record["total_s"] >= record["experiments"]["fig02"]
+
+    def test_bench_json_backs_up_corrupt_history(self, capsys, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text("{not json")
+        assert main(
+            ["--exp", "fig02", "--scale", "smoke", "--bench-json", str(path)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "unreadable" in err
+        # The corrupt file is preserved, not silently discarded.
+        assert (tmp_path / "bench.json.bad").read_text() == "{not json"
+        records = json.loads(path.read_text())
+        assert len(records) == 1
 
 
 class TestParallelJobs:
@@ -97,6 +124,72 @@ class TestParallelJobs:
         sequential = ext_variance.run(scale="smoke", seed=0, jobs=1)
         parallel = ext_variance.run(scale="smoke", seed=0, jobs=2)
         assert sequential.rows == parallel.rows
+
+
+class TestTracing:
+    def test_trace_merges_and_validates(self, capsys, tmp_path, monkeypatch):
+        from repro.obs.io import iter_events
+        from repro.obs.report import check_events
+
+        monkeypatch.chdir(tmp_path)
+        trace = tmp_path / "out" / "trace.jsonl"
+        assert main(
+            ["--exp", "fig02", "--scale", "smoke", "--quiet",
+             "--trace", str(trace)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "merged" in out and "trace events" in out
+        events = list(iter_events(trace))
+        assert events, "merged trace must not be empty"
+        assert check_events(events) == []
+        assert not (tmp_path / "out" / "trace.jsonl.parts").exists()
+        names = {
+            e["name"] for e in events if e.get("ev") == "span_end"
+        }
+        assert "experiment.fig02" in names
+
+    def test_trace_with_worker_fanout(self, capsys, tmp_path, monkeypatch):
+        from repro.obs.io import iter_events
+        from repro.obs.report import check_events
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            ["--exp", "fig02", "--exp", "table3", "--scale", "smoke",
+             "--quiet", "--jobs", "2", "--trace", str(trace)]
+        ) == 0
+        events = list(iter_events(trace))
+        assert check_events(events) == []
+        # Two worker processes plus the parent's part file.
+        pids = {e["pid"] for e in events}
+        assert len(pids) >= 2
+        names = {e["name"] for e in events if e.get("ev") == "span_end"}
+        assert {"experiment.fig02", "experiment.table3"} <= names
+
+    def test_tracing_output_identical_to_untraced(self, capsys, tmp_path):
+        assert main(["--exp", "table3", "--scale", "smoke"]) == 0
+        plain = capsys.readouterr().out
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            ["--exp", "table3", "--scale", "smoke", "--trace", str(trace)]
+        ) == 0
+        traced = capsys.readouterr().out
+        # Strip the timing/merge reporting lines; the tables themselves
+        # (every measured number) must be bit-identical.
+        def tables(text):
+            return [
+                line for line in text.splitlines()
+                if not line.startswith("[") and not line.startswith("merged")
+            ]
+
+        assert tables(traced) == tables(plain)
+
+    def test_profile_dumps_next_to_trace(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            ["--exp", "fig02", "--scale", "smoke", "--quiet", "--profile",
+             "--trace", str(trace)]
+        ) == 0
+        assert (tmp_path / "fig02.prof").stat().st_size > 0
 
 
 class TestModuleEntryPoint:

@@ -1,0 +1,103 @@
+"""Schema validator: real tracer output conforms; corruptions are caught."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.memory.stats import MemoryStats
+from repro.obs import Tracer
+from repro.obs.schema import EVENT_TYPES, validate_event, validate_events
+
+
+def _trace_events() -> list[dict]:
+    sink = io.StringIO()
+    tracer = Tracer(sink=sink, meta={"argv": ["test"]})
+    stats = MemoryStats()
+    with tracer.span("outer", stats=stats, attrs={"n": 4}):
+        stats.record_precise_write(2)
+        with tracer.span("inner"):
+            tracer.counter("c", 3, attrs={"depth": 0})
+        tracer.gauge("g", 1.5)
+    return [json.loads(line) for line in sink.getvalue().splitlines()]
+
+
+class TestConformance:
+    def test_real_tracer_output_validates_clean(self):
+        events = _trace_events()
+        assert {e["ev"] for e in events} == set(EVENT_TYPES)
+        assert validate_events(events) == []
+
+    def test_jsonl_round_trip_is_lossless(self):
+        events = _trace_events()
+        rewritten = [
+            json.loads(json.dumps(e, separators=(",", ":"))) for e in events
+        ]
+        assert rewritten == events
+        assert validate_events(rewritten) == []
+
+
+class TestRejections:
+    def test_non_object(self):
+        assert validate_event([1, 2]) == ["event is not a JSON object"]
+
+    def test_unknown_event_type(self):
+        assert validate_event({"ev": "trace"}) == [
+            "unknown event type 'trace'"
+        ]
+
+    def test_missing_envelope(self):
+        problems = validate_event({"ev": "meta", "schema": 1, "epoch": 0.0})
+        assert any("ts" in p for p in problems)
+        assert any("seq" in p for p in problems)
+        assert any("pid" in p for p in problems)
+
+    def test_wrong_schema_version(self):
+        event = {"ev": "meta", "schema": 99, "epoch": 0.0,
+                 "ts": 0.0, "seq": 0, "pid": 1}
+        assert any("schema" in p for p in validate_event(event))
+
+    def test_span_end_requires_all_stats_payloads(self):
+        events = _trace_events()
+        end = next(
+            e for e in events if e["ev"] == "span_end" and "stats" in e
+        )
+        broken = dict(end)
+        del broken["cum"]
+        assert any(
+            "all of stats/cum_start/cum" in p for p in validate_event(broken)
+        )
+
+    def test_stats_field_type_checked(self):
+        events = _trace_events()
+        end = next(
+            e for e in events if e["ev"] == "span_end" and "stats" in e
+        )
+        broken = json.loads(json.dumps(end))
+        broken["stats"]["precise_writes"] = "2"
+        assert any(
+            "precise_writes must be an int" in p
+            for p in validate_event(broken)
+        )
+        broken["stats"]["precise_writes"] = 2
+        broken["stats"]["bogus"] = 1
+        assert any("unknown field bogus" in p for p in validate_event(broken))
+
+    def test_negative_wall_clock_rejected(self):
+        events = _trace_events()
+        end = next(e for e in events if e["ev"] == "span_end")
+        broken = dict(end)
+        broken["wall_s"] = -1.0
+        assert any("wall_s" in p for p in validate_event(broken))
+
+    def test_counter_requires_numeric_value(self):
+        event = {"ev": "counter", "name": "c", "value": "many",
+                 "span": None, "ts": 0.0, "seq": 0, "pid": 1}
+        assert any("value" in p for p in validate_event(event))
+
+    def test_stream_problems_carry_event_index(self):
+        events = _trace_events()
+        events[1] = {"ev": "span_start"}  # gutted
+        problems = validate_events(events)
+        assert problems
+        assert all(p.startswith("event 1:") for p in problems)

@@ -1,0 +1,197 @@
+"""Tracer core: span nesting, stats deltas, the NullTracer guarantee."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.memory.stats import MemoryStats
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    StageRecorder,
+    TRACE_DIR_ENV,
+    Tracer,
+    close_tracer,
+    get_tracer,
+    set_tracer,
+)
+from repro.obs.tracer import stats_from_dict, stats_to_dict
+
+
+def _sink_tracer() -> "tuple[Tracer, io.StringIO]":
+    sink = io.StringIO()
+    return Tracer(sink=sink), sink
+
+
+def _events(sink: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in sink.getvalue().splitlines()]
+
+
+class TestSpans:
+    def test_meta_event_leads_the_file(self):
+        tracer, sink = _sink_tracer()
+        (meta,) = _events(sink)
+        assert meta["ev"] == "meta"
+        assert meta["seq"] == 0
+        assert isinstance(meta["epoch"], float)
+
+    def test_nesting_records_parent_links(self):
+        tracer, sink = _sink_tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("sibling"):
+                pass
+        events = _events(sink)
+        starts = {e["name"]: e for e in events if e["ev"] == "span_start"}
+        ends = {e["name"]: e for e in events if e["ev"] == "span_end"}
+        assert starts["outer"]["parent"] is None
+        assert starts["inner"]["parent"] == starts["outer"]["id"]
+        assert starts["sibling"]["parent"] == starts["outer"]["id"]
+        assert ends["inner"]["id"] == starts["inner"]["id"]
+        # The outer span closes after its children.
+        assert ends["outer"]["seq"] > ends["sibling"]["seq"]
+
+    def test_span_captures_stats_delta(self):
+        tracer, sink = _sink_tracer()
+        stats = MemoryStats()
+        stats.record_precise_write(5)  # before the span: excluded
+        with tracer.span("work", stats=stats) as span:
+            stats.record_precise_write(3)
+            stats.record_precise_read(2)
+        assert span.delta.precise_writes == 3
+        assert span.delta.precise_reads == 2
+        end = [e for e in _events(sink) if e["ev"] == "span_end"][0]
+        assert end["stats"]["precise_writes"] == 3
+        assert end["cum_start"]["precise_writes"] == 5
+        assert end["cum"]["precise_writes"] == 8
+
+    def test_sibling_spans_tile_cumulative_counters(self):
+        tracer, sink = _sink_tracer()
+        stats = MemoryStats()
+        for i in range(3):
+            with tracer.span(f"stage{i}", stats=stats):
+                stats.record_precise_write(i + 1)
+        ends = [e for e in _events(sink) if e["ev"] == "span_end"]
+        for before, after in zip(ends, ends[1:]):
+            assert after["cum_start"] == before["cum"]
+
+    def test_counter_and_gauge_carry_enclosing_span(self):
+        tracer, sink = _sink_tracer()
+        with tracer.span("outer") as span:
+            tracer.counter("hits", 2, attrs={"depth": 1})
+            tracer.gauge("queue", 7)
+        tracer.counter("outside")
+        events = _events(sink)
+        counter, gauge, outside = [
+            e for e in events if e["ev"] in ("counter", "gauge")
+        ]
+        assert counter["span"] == span.id
+        assert counter["value"] == 2
+        assert counter["attrs"] == {"depth": 1}
+        assert gauge["span"] == span.id
+        assert outside["span"] is None
+        assert outside["value"] == 1
+
+    def test_wall_clock_measured(self):
+        tracer, _ = _sink_tracer()
+        with tracer.span("timed") as span:
+            pass
+        assert span.wall_s >= 0.0
+
+    def test_stats_payload_round_trips(self):
+        stats = MemoryStats()
+        stats.record_precise_write(3)
+        stats.record_approx_write(2.5, corrupted=True)
+        assert stats_from_dict(stats_to_dict(stats)) == stats
+
+
+class TestNullTracer:
+    def test_disabled_flag(self):
+        assert NULL_TRACER.enabled is False
+        assert NullTracer().enabled is False
+
+    def test_span_is_shared_noop(self):
+        a = NULL_TRACER.span("x", stats=MemoryStats())
+        b = NULL_TRACER.span("y")
+        assert a is b  # zero allocations on the disabled path
+        with a as span:
+            pass
+        assert span.delta is None
+        assert span.wall_s == 0.0
+
+    def test_emits_no_events_anywhere(self, tmp_path, monkeypatch):
+        # With the env unset, get_tracer() must hand out the null tracer
+        # and a traced workload must leave the filesystem untouched.
+        monkeypatch.chdir(tmp_path)
+        tracer = get_tracer()
+        assert tracer is NULL_TRACER
+        with tracer.span("sort", stats=MemoryStats()):
+            tracer.counter("c", 1)
+            tracer.gauge("g", 2)
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestProcessWideTracer:
+    def test_env_enables_file_tracer(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TRACE_DIR_ENV, str(tmp_path))
+        close_tracer()
+        tracer = get_tracer()
+        assert tracer.enabled
+        assert get_tracer() is tracer  # cached
+        with tracer.span("s"):
+            pass
+        close_tracer()
+        files = list(tmp_path.glob("trace-*.jsonl"))
+        assert len(files) == 1
+        events = [
+            json.loads(line) for line in files[0].read_text().splitlines()
+        ]
+        assert [e["ev"] for e in events] == ["meta", "span_start", "span_end"]
+
+    def test_set_tracer_returns_previous(self):
+        tracer, _ = _sink_tracer()
+        previous = set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            set_tracer(previous if previous is not None else NULL_TRACER)
+
+
+class TestStageRecorder:
+    def _run_stages(self, tracer) -> dict:
+        stats = MemoryStats()
+        recorder = StageRecorder(stats, tracer)
+        with recorder.stage("a"):
+            stats.record_precise_write(4)
+        with recorder.stage("b"):
+            stats.record_approx_write(1.5)
+        return recorder.stage_stats
+
+    def test_records_per_stage_deltas(self):
+        stage_stats = self._run_stages(NULL_TRACER)
+        assert stage_stats["a"].precise_writes == 4
+        assert stage_stats["b"].approx_write_units == 1.5
+
+    def test_identical_with_tracing_on_and_off(self):
+        tracer, sink = _sink_tracer()
+        enabled = self._run_stages(tracer)
+        disabled = self._run_stages(NULL_TRACER)
+        assert enabled == disabled
+        # The enabled run also mirrored the stages as spans.
+        names = [
+            e["name"] for e in _events(sink) if e["ev"] == "span_end"
+        ]
+        assert names == ["a", "b"]
+
+    def test_exception_still_records_stage(self):
+        stats = MemoryStats()
+        recorder = StageRecorder(stats, NULL_TRACER)
+        with pytest.raises(RuntimeError):
+            with recorder.stage("boom"):
+                stats.record_precise_write(1)
+                raise RuntimeError("boom")
+        assert recorder.stage_stats["boom"].precise_writes == 1
