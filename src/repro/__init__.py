@@ -56,6 +56,12 @@ from .memory import (
     t_sweep,
     write_reduction,
 )
+from .errors import (
+    CheckpointCorruptError,
+    ConfigError,
+    ExperimentError,
+    ReproError,
+)
 from .memory.factories import PCMMemoryFactory, SpintronicMemoryFactory
 from .metrics import error_rate_multiset, inversions, is_sorted, rem, rem_ratio
 from .sorting import available_sorters, make_sorter
@@ -67,10 +73,14 @@ __all__ = [
     "ApproxOnlyResult",
     "ApproxRefineResult",
     "BaselineResult",
+    "CheckpointCorruptError",
+    "ConfigError",
+    "ExperimentError",
     "MLCParams",
     "MemoryStats",
     "PCMMemoryFactory",
     "PreciseArray",
+    "ReproError",
     "SPINTRONIC_CONFIGS",
     "SpintronicArray",
     "SpintronicMemoryFactory",

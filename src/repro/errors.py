@@ -1,0 +1,80 @@
+"""Exception hierarchy of the reproduction.
+
+Raising bare ``ValueError``/``RuntimeError`` from deep inside the harness
+gives operators a stack trace instead of an instruction; these types carry
+enough structure for the CLI layer to print one actionable line and pick a
+meaningful exit code (see ``repro.experiments.runner``).
+
+The hierarchy:
+
+* :class:`ReproError` — base class; ``except ReproError`` at a CLI boundary
+  catches every error this package raises deliberately.
+* :class:`ConfigError` — the *request* is wrong (unknown scale/kernel/sorter,
+  malformed fault spec, resume selection that contradicts the recorded run).
+  Also a :class:`ValueError`, so long-standing ``except ValueError`` call
+  sites keep working.
+* :class:`ExperimentError` — an experiment failed to produce its table
+  (crashed worker, timeout, in-experiment exception), after any retries.
+* :class:`CheckpointCorruptError` — a checkpoint store under
+  ``.repro_runs/<run-id>/`` cannot be trusted: a manifest, journal or result
+  file failed to parse or carries an unknown schema version.  Always names
+  the offending path so the operator can inspect or delete it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+
+class ReproError(Exception):
+    """Base class for every deliberate error raised by this package."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration value (argument, flag, or environment) is invalid.
+
+    Inherits :class:`ValueError` for backward compatibility with callers
+    that predate the hierarchy.
+    """
+
+
+class ExperimentError(ReproError):
+    """An experiment failed to complete, after any configured retries.
+
+    Attributes
+    ----------
+    name:
+        The experiment's registry name (e.g. ``"fig09"``).
+    reason:
+        Human-readable failure cause ("crashed (exit code 86)",
+        "timed out after 30s", "ValueError: ...").
+    attempts:
+        How many attempts were made, including the first.
+    """
+
+    def __init__(self, name: str, reason: str, attempts: int = 1) -> None:
+        self.name = name
+        self.reason = reason
+        self.attempts = attempts
+        noun = "attempt" if attempts == 1 else "attempts"
+        super().__init__(f"{name} failed after {attempts} {noun}: {reason}")
+
+
+class CheckpointCorruptError(ReproError):
+    """A checkpoint file cannot be parsed or is schema-incompatible.
+
+    Attributes
+    ----------
+    path:
+        The offending file (manifest, journal, or result record).
+    detail:
+        What was wrong with it.
+    """
+
+    def __init__(self, path: "str | Path", detail: str) -> None:
+        self.path = Path(path)
+        self.detail = detail
+        super().__init__(
+            f"{self.path}: {detail} (inspect or delete the run directory to"
+            " discard the checkpoint)"
+        )

@@ -31,20 +31,32 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.errors import ConfigError
+
 SCALES = ("smoke", "default", "large")
 
 #: Environment variable: default seconds between heartbeat lines.
 HEARTBEAT_ENV = "REPRO_HEARTBEAT_S"
 
+#: Environment variable relocating the saved-results directory (used by the
+#: docs-example smoke checker to keep the committed records pristine).
+RESULTS_DIR_ENV = "REPRO_RESULTS_DIR"
+
 #: Directory where bench runs persist their tables (JSON).
-RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+RESULTS_DIR = Path(
+    os.environ.get(RESULTS_DIR_ENV)
+    or Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+)
 
 
 def resolve_scale(scale: str | None = None) -> str:
     """Pick the scale tier: explicit argument > REPRO_SCALE > default."""
     value = scale if scale is not None else os.environ.get("REPRO_SCALE", "default")
     if value not in SCALES:
-        raise ValueError(f"scale must be one of {SCALES}, got {value!r}")
+        raise ConfigError(
+            f"scale must be one of {SCALES}, got {value!r} (set --scale or"
+            " the REPRO_SCALE environment variable)"
+        )
     return value
 
 
@@ -184,7 +196,7 @@ class Heartbeat:
             self._thread = None
 
 
-def map_cells(fn, cells: list[tuple], jobs: int = 1) -> list:
+def map_cells(fn, cells: list[tuple], jobs: int = 1, journal=None) -> list:
     """Run ``fn(*cell)`` for every cell, optionally across processes.
 
     The experiment modules express their independent measurement cells as
@@ -193,11 +205,132 @@ def map_cells(fn, cells: list[tuple], jobs: int = 1) -> list:
     ``jobs``, and the sequential path calls the exact same function, so the
     output is bit-identical for any job count — each cell derives all of its
     randomness from its own arguments, never from shared mutable state.
-    """
-    if jobs <= 1 or len(cells) <= 1:
-        return [fn(*cell) for cell in cells]
-    from concurrent.futures import ProcessPoolExecutor
 
-    with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
-        futures = [pool.submit(fn, *cell) for cell in cells]
-        return [future.result() for future in futures]
+    ``journal`` (a :class:`repro.experiments.checkpoint.CellJournal`)
+    makes the fan-out resumable: cells already recorded for these exact
+    arguments are restored instead of recomputed, and every fresh result is
+    journaled the moment it lands — so a crashed or timed-out experiment
+    re-fans only its missing cells on the next attempt.  Restored values
+    round-trip through JSON (tuples come back as lists; floats are exact).
+    """
+    results: list = [None] * len(cells)
+    if journal is not None:
+        restored = journal.load(cells)
+        todo = [i for i in range(len(cells)) if i not in restored]
+        for i, value in restored.items():
+            results[i] = value
+    else:
+        todo = list(range(len(cells)))
+    if not todo:
+        return results
+    if jobs <= 1 or len(todo) <= 1:
+        for i in todo:
+            results[i] = fn(*cells[i])
+            if journal is not None:
+                journal.record(i, cells[i], results[i])
+        return results
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+
+    with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
+        futures = {pool.submit(fn, *cells[i]): i for i in todo}
+        # Journal each cell the moment it finishes (not in index order), so
+        # an interruption preserves every completed measurement.
+        for future in as_completed(futures):
+            i = futures[future]
+            results[i] = future.result()
+            if journal is not None:
+                journal.record(i, cells[i], results[i])
+    return results
+
+
+# ---------------------------------------------------------------------- #
+# Fault injection (testing hooks for the resilience layer)
+# ---------------------------------------------------------------------- #
+
+#: Environment variable holding fault clauses: ``kind:experiment[:limit]``
+#: comma-separated, e.g. ``crash:fig09`` or ``crash:fig09:1,hang:table3``.
+FAULT_ENV = "REPRO_FAULT"
+
+#: Directory where counted fault clauses persist their trip counts (so a
+#: ``crash:fig09:1`` clause stops firing after one crash even though each
+#: attempt runs in a fresh process).
+FAULT_DIR_ENV = "REPRO_FAULT_DIR"
+
+#: Exit status of an injected crash (distinct from real Python failures).
+FAULT_CRASH_EXIT = 86
+
+_FAULT_KINDS = ("crash", "hang")
+
+
+def parse_fault_spec(spec: str) -> list[tuple[str, str, int | None]]:
+    """Parse ``REPRO_FAULT`` into ``(kind, experiment, limit)`` clauses."""
+    clauses = []
+    for clause in spec.split(","):
+        parts = clause.strip().split(":")
+        if len(parts) not in (2, 3) or parts[0] not in _FAULT_KINDS:
+            raise ConfigError(
+                f"bad {FAULT_ENV} clause {clause!r}; expected"
+                f" kind:experiment[:limit] with kind in {_FAULT_KINDS}"
+            )
+        limit = None
+        if len(parts) == 3:
+            try:
+                limit = int(parts[2])
+            except ValueError:
+                raise ConfigError(
+                    f"bad {FAULT_ENV} limit {parts[2]!r} in {clause!r};"
+                    " expected an integer attempt count"
+                ) from None
+        clauses.append((parts[0], parts[1], limit))
+    return clauses
+
+
+def _fault_trips(kind: str, name: str) -> "tuple[int, Path]":
+    """Trips already fired for this clause, and where they are counted."""
+    directory = os.environ.get(FAULT_DIR_ENV)
+    if not directory:
+        raise ConfigError(
+            f"counted {FAULT_ENV} clauses need {FAULT_DIR_ENV} to persist"
+            " their trip counts across worker processes"
+        )
+    path = Path(directory) / f"{kind}-{name}.trips"
+    try:
+        return path.stat().st_size, path
+    except OSError:
+        return 0, path
+
+
+def maybe_inject_fault(name: str) -> None:
+    """Fire any ``REPRO_FAULT`` clause targeting experiment ``name``.
+
+    ``crash`` exits the process immediately via ``os._exit`` (no cleanup,
+    like an OOM kill); ``hang`` sleeps forever (until the supervisor's
+    ``--timeout`` kills the worker).  A ``:limit`` suffix fires the clause
+    on the first ``limit`` attempts only — the mechanism retry tests use to
+    let a later attempt succeed.
+    """
+    spec = os.environ.get(FAULT_ENV)
+    if not spec:
+        return
+    for kind, target, limit in parse_fault_spec(spec):
+        if target != name:
+            continue
+        if limit is not None:
+            trips, path = _fault_trips(kind, name)
+            if trips >= limit:
+                continue
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(path, "ab") as sink:
+                sink.write(b"x")
+        if kind == "crash":
+            print(
+                f"[fault] injected crash in {name} (pid {os.getpid()})",
+                file=sys.stderr, flush=True,
+            )
+            os._exit(FAULT_CRASH_EXIT)
+        print(
+            f"[fault] injected hang in {name} (pid {os.getpid()})",
+            file=sys.stderr, flush=True,
+        )
+        while True:  # pragma: no cover - only ever exits by being killed
+            time.sleep(60)

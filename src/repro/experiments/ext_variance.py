@@ -46,7 +46,12 @@ def _cell(algorithm: str, n: int, key_seed: int, fit: int,
     return write_reduction(baseline_total, result.total_units)
 
 
-def run(scale: str | None = None, seed: int = 0, jobs: int = 1) -> ExperimentTable:
+def run(
+    scale: str | None = None,
+    seed: int = 0,
+    jobs: int = 1,
+    cell_journal=None,
+) -> ExperimentTable:
     tier = resolve_scale(scale)
     n = scaled(tier, smoke=1_500, default=8_000, large=30_000)
     repeats = scaled(tier, smoke=3, default=7, large=9)
@@ -78,7 +83,7 @@ def run(scale: str | None = None, seed: int = 0, jobs: int = 1) -> ExperimentTab
         for algorithm in ALGORITHMS
         for repeat in range(repeats)
     ]
-    results = map_cells(_cell, cells, jobs=jobs)
+    results = map_cells(_cell, cells, jobs=jobs, journal=cell_journal)
     for i, algorithm in enumerate(ALGORITHMS):
         reductions = results[i * repeats : (i + 1) * repeats]
         mean = sum(reductions) / len(reductions)

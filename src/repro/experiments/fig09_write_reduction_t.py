@@ -54,6 +54,7 @@ def run(
     t_values: list[float] | None = None,
     algorithms: tuple[str, ...] = ALGORITHMS,
     jobs: int = 1,
+    cell_journal=None,
 ) -> ExperimentTable:
     tier = resolve_scale(scale)
     n = scaled(tier, smoke=1_200, default=16_000, large=60_000)
@@ -83,7 +84,7 @@ def run(
         for algorithm in algorithms
     ]
     for (t, algorithm, *_), (reduction, rem_tilde, p_ratio) in zip(
-        cells, map_cells(_cell, cells, jobs=jobs)
+        cells, map_cells(_cell, cells, jobs=jobs, journal=cell_journal)
     ):
         table.add_row(t, algorithm, reduction, rem_tilde / n, p_ratio)
     return table

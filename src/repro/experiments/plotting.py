@@ -21,6 +21,8 @@ import sys
 from pathlib import Path
 from typing import Mapping, Sequence
 
+from repro.errors import ConfigError
+
 from .common import RESULTS_DIR
 
 #: Glyphs assigned to chart series, in order.
@@ -178,7 +180,10 @@ def render_shapes(payload: dict, figure: str = "fig06") -> str:
                 ascii_scatter(series[key], title=key, height=12)
             )
     if not charts:
-        raise ValueError(f"no saved series for figure {figure!r}")
+        raise ConfigError(
+            f"no saved series for figure {figure!r}; fig05_07 records"
+            " series named fig05*/fig06*/fig07*"
+        )
     return "\n\n".join(charts)
 
 

@@ -5,7 +5,8 @@ Usage::
     python -m repro.experiments.runner --list
     python -m repro.experiments.runner --exp fig09 --scale smoke
     python -m repro.experiments.runner --all --scale default --save --jobs 4
-    python -m repro.experiments.runner --exp ext_variance --jobs 4 --bench-json
+    python -m repro.experiments.runner --all --jobs 4 --checkpoint nightly
+    python -m repro.experiments.runner --resume nightly
 
 Each experiment prints its table; ``--save`` also writes the JSON record to
 ``benchmarks/results/``.
@@ -17,6 +18,21 @@ Each experiment prints its table; ``--save`` also writes the JSON record to
 order and are bit-identical for any job count: each cell reconstructs its
 inputs from primitive arguments and derives randomness only from its own
 seeds, never from shared mutable state.
+
+Resilience (DESIGN.md section 10): ``--checkpoint [RUN_ID]`` journals every
+completed experiment (and every completed *cell* of a cell-parallel
+experiment) under ``.repro_runs/<run-id>/``; after a crash, OOM kill or
+Ctrl-C, ``--resume RUN_ID`` restores the finished results and re-fans only
+the remainder, producing bit-identical tables to an uninterrupted run.
+``--timeout S`` bounds each experiment attempt, ``--retries N`` re-runs a
+crashed/hung/failed experiment with exponential backoff, and any of these
+flags switches execution to supervised mode: each experiment runs in its
+own process group, so a hung or crashed worker is killed and isolated
+without taking down the rest of the run.  On partial failure the runner
+still prints every completed table, appends a ``FAILED`` summary table, and
+exits with status :data:`EXIT_PARTIAL` (3) — distinct from usage/config
+errors (2).  The ``REPRO_FAULT`` environment variable injects test faults
+(``crash:<exp>[:limit]`` / ``hang:<exp>[:limit]``).
 
 ``--bench-json [PATH]`` appends a wall-clock record (per-experiment and
 total seconds, plus the scale/seed/jobs/kernels configuration) to a JSON
@@ -31,7 +47,9 @@ every process of the run appends span/counter/gauge events to its own
 per-pid JSONL file, and the runner merges them into ``PATH`` (default
 ``trace.jsonl``) when the run finishes.  Analyze with ``python -m
 repro.obs.report PATH``.  ``--profile`` additionally runs each experiment
-under :mod:`cProfile`, dumping ``<name>.prof`` next to the trace.
+under :mod:`cProfile`, dumping ``<name>.prof`` next to the trace.  Resumes
+and retries are traced too: a ``run.resume`` span plus ``run.restored``,
+``run.retry`` and ``run.experiment_failed`` counters.
 
 ``--quiet`` suppresses the result tables (timing lines still print);
 ``--heartbeat S`` prints a progress line to stderr every ``S`` seconds
@@ -42,19 +60,31 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
+import multiprocessing
 import os
+import signal
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from datetime import datetime, timezone
+from multiprocessing.connection import Connection, wait as _mp_wait
 from pathlib import Path
-from typing import Callable
+from typing import Callable, Optional
 
+from repro.errors import CheckpointCorruptError, ConfigError
 from repro.kernels import KERNEL_MODES, KERNELS_ENV, resolve_kernels
 from repro.obs import TRACE_DIR_ENV, close_tracer, get_tracer
 from repro.obs.io import merge_traces
 
-from .common import ExperimentTable, Heartbeat, SCALES, resolve_scale
+from .checkpoint import RunCheckpoint
+from .common import (
+    ExperimentTable,
+    Heartbeat,
+    SCALES,
+    maybe_inject_fault,
+    resolve_scale,
+)
 
 from . import (
     ablation_refine,
@@ -113,8 +143,20 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentTable]] = {
 }
 
 #: Experiments whose ``run()`` accepts ``jobs=`` and fans its own
-#: independent measurement cells across processes.
+#: independent measurement cells across processes (and, when
+#: checkpointing, journals each completed cell for resume).
 CELL_PARALLEL = frozenset({"fig09", "ext_variance"})
+
+#: Exit status when some experiments failed but the completed subset was
+#: still emitted (argparse/config errors use 2, success 0).
+EXIT_PARTIAL = 3
+
+#: Exit status after Ctrl-C (the shell convention for SIGINT).
+EXIT_INTERRUPTED = 130
+
+#: Environment variable: base seconds of the exponential retry backoff
+#: (attempt k waits ``base * 2**(k-1)``; default 1.0; tests set 0).
+RETRY_BACKOFF_ENV = "REPRO_RETRY_BACKOFF_S"
 
 
 def _run_single(
@@ -123,9 +165,17 @@ def _run_single(
     seed: int,
     jobs: int = 1,
     profile_dir: str | None = None,
+    cell_journal_path: str | None = None,
 ) -> tuple[str, ExperimentTable, float]:
     """Run one experiment and time it (module-level so it pickles)."""
-    kwargs = {"jobs": jobs} if jobs > 1 and name in CELL_PARALLEL else {}
+    maybe_inject_fault(name)
+    kwargs: dict = {}
+    if jobs > 1 and name in CELL_PARALLEL:
+        kwargs["jobs"] = jobs
+    if cell_journal_path is not None and name in CELL_PARALLEL:
+        from .checkpoint import CellJournal
+
+        kwargs["cell_journal"] = CellJournal(cell_journal_path)
     profiler = None
     if profile_dir is not None:
         import cProfile
@@ -143,6 +193,344 @@ def _run_single(
         profiler.disable()
         profiler.dump_stats(str(Path(profile_dir) / f"{name}.prof"))
     return name, table, elapsed
+
+
+def _supervised_worker(
+    conn: Connection,
+    name: str,
+    scale: str | None,
+    seed: int,
+    jobs: int,
+    profile_dir: str | None,
+    cell_journal_path: str | None,
+) -> None:
+    """Child-process entry: run one experiment, ship the result back.
+
+    The child detaches into its own session (and hence process group), so
+    the supervisor can kill it *and any grandchildren it forked* — e.g. a
+    cell-parallel experiment's pool workers — with one ``killpg``, and so
+    a terminal Ctrl-C reaches only the supervisor, which shuts the
+    children down deliberately.
+    """
+    try:
+        os.setsid()
+    except (AttributeError, OSError):  # pragma: no cover - non-POSIX
+        pass
+    try:
+        _, table, elapsed = _run_single(
+            name, scale, seed, jobs, profile_dir, cell_journal_path
+        )
+    except BaseException as exc:
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+        os._exit(1)
+    conn.send(("ok", table, elapsed))
+    conn.close()
+
+
+class _OrderedEmitter:
+    """Print/save results in submission order as they become available.
+
+    Out-of-order completions are buffered; a failed experiment releases
+    the head of the line so later tables still stream out.
+    """
+
+    def __init__(
+        self,
+        order: list[str],
+        args: argparse.Namespace,
+        timings: dict[str, float],
+        heartbeat: Heartbeat,
+    ) -> None:
+        self.order = list(order)
+        self.args = args
+        self.timings = timings
+        self.heartbeat = heartbeat
+        self._ready: dict[str, tuple[ExperimentTable, float, bool]] = {}
+        self._skipped: set[str] = set()
+        self._next = 0
+
+    def ready(
+        self,
+        name: str,
+        table: ExperimentTable,
+        elapsed: float,
+        restored: bool = False,
+    ) -> None:
+        self._ready[name] = (table, elapsed, restored)
+        self._flush()
+
+    def failed(self, name: str) -> None:
+        self._skipped.add(name)
+        self._flush()
+
+    def _flush(self) -> None:
+        while self._next < len(self.order):
+            name = self.order[self._next]
+            if name in self._skipped:
+                self._next += 1
+                continue
+            if name not in self._ready:
+                break
+            table, elapsed, restored = self._ready.pop(name)
+            self._next += 1
+            if not restored:
+                self.timings[name] = elapsed
+            self.heartbeat.advance()
+            if not self.args.quiet:
+                print(table.to_text())
+            if restored:
+                print(f"[{name} restored from checkpoint]")
+            else:
+                print(f"[{name} finished in {elapsed:.1f}s]")
+            if not self.args.quiet:
+                print()
+            if self.args.save:
+                path = table.save()
+                print(f"saved {path}")
+
+
+@dataclass
+class _Job:
+    """One experiment's supervision state."""
+
+    name: str
+    attempt: int = 1
+    not_before: float = 0.0
+    deadline: float = math.inf
+    process: "multiprocessing.process.BaseProcess | None" = None
+    conn: Optional[Connection] = None
+
+
+class _Supervisor:
+    """Fault-isolating scheduler: one process group per experiment attempt.
+
+    Unlike a shared ``ProcessPoolExecutor`` — where one worker dying of a
+    hard crash breaks the whole pool — every attempt here is its own
+    process (in its own session), so a crash, OOM kill, injected fault, or
+    timeout costs exactly that attempt.  Failures are retried up to
+    ``retries`` times with exponential backoff; exhausted experiments are
+    reported and the rest of the run continues.
+    """
+
+    def __init__(
+        self,
+        pending: list[str],
+        *,
+        scale: str | None,
+        seed: int,
+        child_jobs: int,
+        max_workers: int,
+        timeout: float | None,
+        retries: int,
+        backoff: float,
+        profile_dir: str | None,
+        checkpoint: RunCheckpoint | None,
+        emitter: _OrderedEmitter,
+    ) -> None:
+        self.scale = scale
+        self.seed = seed
+        self.child_jobs = child_jobs
+        self.max_workers = max_workers
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.profile_dir = profile_dir
+        self.checkpoint = checkpoint
+        self.emitter = emitter
+        self.waiting: list[_Job] = [_Job(name) for name in pending]
+        self.running: list[_Job] = []
+        self.failures: dict[str, tuple[int, str]] = {}
+        if "fork" in multiprocessing.get_all_start_methods():
+            # Fork keeps the in-memory model cache and env warm in children.
+            self._ctx = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - non-POSIX
+            self._ctx = multiprocessing.get_context()
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> dict[str, tuple[int, str]]:
+        """Supervise until every experiment completed or exhausted retries."""
+        try:
+            while self.waiting or self.running:
+                self._launch_eligible()
+                if not self.running:
+                    # Everyone is waiting out a backoff window.
+                    pause = min(j.not_before for j in self.waiting)
+                    time.sleep(max(pause - time.monotonic(), 0.01))
+                    continue
+                self._await_events()
+        except BaseException:
+            self._terminate_running()
+            raise
+        return self.failures
+
+    def _launch_eligible(self) -> None:
+        now = time.monotonic()
+        for job in list(self.waiting):
+            if len(self.running) >= self.max_workers:
+                break
+            if job.not_before > now:
+                continue
+            self.waiting.remove(job)
+            self._start(job)
+            self.running.append(job)
+
+    def _start(self, job: _Job) -> None:
+        cell_path = None
+        if self.checkpoint is not None and job.name in CELL_PARALLEL:
+            cell_path = str(self.checkpoint.cell_journal_path(job.name))
+        recv, send = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_supervised_worker,
+            args=(
+                send, job.name, self.scale, self.seed, self.child_jobs,
+                self.profile_dir, cell_path,
+            ),
+            name=f"repro-{job.name}",
+        )
+        process.start()
+        send.close()
+        job.process, job.conn = process, recv
+        job.deadline = (
+            time.monotonic() + self.timeout
+            if self.timeout is not None else math.inf
+        )
+        if self.checkpoint is not None:
+            self.checkpoint.journal_event(
+                "attempt", experiment=job.name, attempt=job.attempt,
+                pid=process.pid,
+            )
+
+    def _await_events(self) -> None:
+        now = time.monotonic()
+        horizons = [j.deadline - now for j in self.running]
+        horizons += [j.not_before - now for j in self.waiting]
+        wait_s = max(min(horizons), 0.0) if horizons else None
+        if wait_s is not None and math.isinf(wait_s):
+            wait_s = None
+        handles = []
+        for job in self.running:
+            handles.append(job.conn)
+            handles.append(job.process.sentinel)
+        _mp_wait(handles, timeout=wait_s)
+        now = time.monotonic()
+        for job in list(self.running):
+            outcome = self._poll(job, now)
+            if outcome is None:
+                continue
+            self.running.remove(job)
+            self._finish_attempt(job, *outcome)
+
+    def _poll(
+        self, job: _Job, now: float
+    ) -> "tuple[str, object, object] | None":
+        if job.conn.poll():
+            try:
+                message = job.conn.recv()
+            except (EOFError, OSError):
+                message = None
+            if message is not None and message[0] == "ok":
+                return ("ok", message[1], message[2])
+            if message is not None:
+                return ("error", message[1], None)
+            return ("crash", None, None)
+        if not job.process.is_alive():
+            return ("crash", None, None)
+        if now >= job.deadline:
+            self._kill(job)
+            return ("timeout", None, None)
+        return None
+
+    def _kill(self, job: _Job) -> None:
+        """SIGKILL the attempt's whole process group (grandchildren too)."""
+        process = job.process
+        try:
+            os.killpg(process.pid, signal.SIGKILL)
+        except (AttributeError, ProcessLookupError, PermissionError, OSError):
+            process.kill()
+
+    def _terminate_running(self) -> None:
+        for job in self.running:
+            self._kill(job)
+            job.process.join()
+        self.running.clear()
+
+    def _finish_attempt(self, job: _Job, kind: str, payload, extra) -> None:
+        job.process.join()
+        exitcode = job.process.exitcode
+        job.conn.close()
+        if kind == "ok":
+            table, elapsed = payload, extra
+            if self.checkpoint is not None:
+                self.checkpoint.record(job.name, table, elapsed)
+            self.emitter.ready(job.name, table, elapsed)
+            return
+        if kind == "timeout":
+            reason = f"timed out after {self.timeout:g}s"
+        elif kind == "error":
+            reason = str(payload)
+        else:
+            reason = f"crashed (exit code {exitcode})"
+        if job.attempt <= self.retries:
+            delay = self.backoff * (2 ** (job.attempt - 1))
+            get_tracer().counter(
+                "run.retry",
+                attrs={
+                    "experiment": job.name, "attempt": job.attempt,
+                    "reason": reason,
+                },
+            )
+            if self.checkpoint is not None:
+                self.checkpoint.journal_event(
+                    "retry", experiment=job.name, attempt=job.attempt,
+                    reason=reason,
+                )
+            print(
+                f"[{job.name} attempt {job.attempt} {reason};"
+                f" retrying in {delay:g}s]",
+                file=sys.stderr, flush=True,
+            )
+            job.attempt += 1
+            job.not_before = time.monotonic() + delay
+            job.process = job.conn = None
+            job.deadline = math.inf
+            self.waiting.append(job)
+            return
+        self.failures[job.name] = (job.attempt, reason)
+        get_tracer().counter(
+            "run.experiment_failed",
+            attrs={"experiment": job.name, "reason": reason},
+        )
+        if self.checkpoint is not None:
+            self.checkpoint.journal_event(
+                "failed", experiment=job.name, attempts=job.attempt,
+                reason=reason,
+            )
+        noun = "attempt" if job.attempt == 1 else "attempts"
+        print(
+            f"[{job.name} failed after {job.attempt} {noun}: {reason}]",
+            file=sys.stderr, flush=True,
+        )
+        self.emitter.failed(job.name)
+
+
+def _failed_table(failures: dict[str, tuple[int, str]]) -> ExperimentTable:
+    """The partial-failure summary appended after the completed tables."""
+    table = ExperimentTable(
+        experiment="FAILED",
+        title="experiments that did not complete",
+        columns=["experiment", "attempts", "reason"],
+        notes=[
+            "the completed tables above are valid; re-run (or --resume a"
+            " checkpointed run) to fill in the rest",
+        ],
+    )
+    for name, (attempts, reason) in failures.items():
+        table.add_row(name, attempts, reason)
+    return table
 
 
 def _append_bench_record(path: Path, record: dict) -> None:
@@ -174,7 +562,7 @@ def _append_bench_record(path: Path, record: dict) -> None:
     path.write_text(json.dumps(records, indent=2) + "\n")
 
 
-def main(argv: list[str] | None = None) -> int:
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.experiments.runner",
         description="Reproduce the paper's tables and figures.",
@@ -186,7 +574,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--all", action="store_true", help="run every experiment")
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument("--scale", choices=SCALES, default=None)
-    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=None)
     parser.add_argument(
         "--save", action="store_true",
         help="write JSON results to benchmarks/results/",
@@ -196,6 +584,34 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes: fans independent experiments, or the"
         " cells of a single cell-parallel experiment (output is"
         " bit-identical for any N)",
+    )
+    parser.add_argument(
+        "--checkpoint", nargs="?", const="", default=None, metavar="RUN_ID",
+        help="journal completed experiments/cells under"
+        " .repro_runs/<run-id>/ so an interrupted run can be resumed"
+        " (id auto-generated when omitted)",
+    )
+    parser.add_argument(
+        "--resume", default=None, metavar="RUN_ID",
+        help="restore a checkpointed run's finished results and run only"
+        " the remainder (bit-identical tables to an uninterrupted run);"
+        " with no --exp/--all, the recorded selection is reused",
+    )
+    parser.add_argument(
+        "--runs-dir", default=None, metavar="PATH",
+        help="checkpoint root directory (default: REPRO_RUNS_DIR or"
+        " .repro_runs)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-experiment attempt budget; a hung worker's whole process"
+        " group is killed without taking down the run",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="re-run a crashed/hung/failed experiment up to N times with"
+        f" exponential backoff ({RETRY_BACKOFF_ENV} seconds base,"
+        " default 1)",
     )
     parser.add_argument(
         "--bench-json", nargs="?", const="BENCH_runner.json", default=None,
@@ -231,7 +647,26 @@ def main(argv: list[str] | None = None) -> int:
         help="seconds between progress lines on stderr (default:"
         " REPRO_HEARTBEAT_S or 30; 0 disables)",
     )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
     args = parser.parse_args(argv)
+    try:
+        return _main(args, parser)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except CheckpointCorruptError as exc:
+        print(f"error: corrupt checkpoint: {exc}", file=sys.stderr)
+        return 2
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _main(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     if args.kernels is not None:
         # Exported (not passed down) so fork-inherited worker processes and
         # every make_sorter()/refine call see the same mode.
@@ -240,13 +675,24 @@ def main(argv: list[str] | None = None) -> int:
     if args.list:
         width = max(len(name) for name in EXPERIMENTS)
         for name, fn in EXPERIMENTS.items():
-            print(f"{name:<{width}}  {_describe(fn)}")
+            parallel = (
+                "  [cell-parallel: --jobs fans cells]"
+                if name in CELL_PARALLEL else ""
+            )
+            print(f"{name:<{width}}  {_describe(fn)}{parallel}")
         return 0
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.timeout is not None and args.timeout <= 0:
+        parser.error("--timeout must be positive")
+    if args.retries < 0:
+        parser.error("--retries must be >= 0")
+    if args.resume is not None and args.checkpoint is not None:
+        parser.error("--resume already journals to the resumed run;"
+                      " drop --checkpoint")
 
-    names = list(EXPERIMENTS) if args.all else (args.exp or [])
-    if not names:
+    names = list(EXPERIMENTS) if args.all else list(args.exp or [])
+    if not names and args.resume is None:
         parser.error("choose experiments with --exp/--all (or use --list)")
 
     # Tracing: every process (this one and fork-inherited workers) appends
@@ -264,39 +710,132 @@ def main(argv: list[str] | None = None) -> int:
         profile_dir = str(trace_path.parent) if trace_path is not None else "."
         Path(profile_dir).mkdir(parents=True, exist_ok=True)
 
+    checkpoint: RunCheckpoint | None = None
+    restored: dict[str, tuple[ExperimentTable, float]] = {}
     timings: dict[str, float] = {}
-    heartbeat = Heartbeat("experiments", len(names), interval=args.heartbeat)
+    failures: dict[str, tuple[int, str]] = {}
     wall_start = time.perf_counter()
     try:
-        if args.jobs > 1 and len(names) > 1:
-            # Fan whole experiments; print in submission order as they
-            # finish.  The heartbeat thread starts only after the workers
-            # fork (threads and fork don't mix).
-            with ProcessPoolExecutor(
-                max_workers=min(args.jobs, len(names))
-            ) as pool:
-                futures = [
-                    pool.submit(
-                        _run_single, name, args.scale, args.seed, 1,
-                        profile_dir,
+        if args.resume is not None:
+            checkpoint = RunCheckpoint.load(args.resume, root=args.runs_dir)
+            recorded = checkpoint.config
+            if not names:
+                names = list(recorded.get("experiments", []))
+                if not names:
+                    parser.error(
+                        f"run {args.resume!r} recorded no experiment"
+                        " selection; pass --exp/--all explicitly"
                     )
-                    for name in names
-                ]
-                heartbeat.start()
-                results = (future.result() for future in futures)
-                _report(results, args, timings, heartbeat)
-        else:
-            heartbeat.start()
-            results = (
-                _run_single(
-                    name, args.scale, args.seed, jobs=args.jobs,
-                    profile_dir=profile_dir,
-                )
-                for name in names
+            if args.scale is None:
+                args.scale = recorded.get("scale")
+            if args.seed is None:
+                args.seed = recorded.get("seed")
+            if args.kernels is None and recorded.get("kernels"):
+                os.environ[KERNELS_ENV] = recorded["kernels"]
+        seed = args.seed if args.seed is not None else 0
+        config = {
+            "experiments": names,
+            "scale": resolve_scale(args.scale),
+            "seed": seed,
+            "kernels": resolve_kernels(args.kernels),
+        }
+        if args.resume is not None:
+            checkpoint.check_config(config)
+            with get_tracer().span(
+                "run.resume", attrs={"run_id": checkpoint.run_id}
+            ):
+                restored = checkpoint.completed()
+            get_tracer().counter(
+                "run.restored", len(restored),
+                attrs={"run_id": checkpoint.run_id},
             )
-            _report(results, args, timings, heartbeat)
+            checkpoint.journal_event(
+                "resume",
+                restored=sorted(restored),
+                pending=[n for n in names if n not in restored],
+            )
+            print(
+                f"[resume] run {checkpoint.run_id}: {len(restored)}/"
+                f"{len(names)} experiments restored from checkpoint",
+                file=sys.stderr,
+            )
+        elif args.checkpoint is not None:
+            checkpoint = RunCheckpoint.create(
+                config, run_id=args.checkpoint or None, root=args.runs_dir
+            )
+            print(
+                f"[checkpoint] journaling to {checkpoint.directory};"
+                f" resume with: --resume {checkpoint.run_id}",
+                file=sys.stderr,
+            )
+
+        pending = [name for name in names if name not in restored]
+        heartbeat = Heartbeat(
+            "experiments", len(names), interval=args.heartbeat
+        )
+        emitter = _OrderedEmitter(names, args, timings, heartbeat)
+        for name, (table, elapsed) in restored.items():
+            emitter.ready(name, table, elapsed, restored=True)
+
+        supervise = pending and (
+            args.timeout is not None
+            or args.retries > 0
+            or (args.jobs > 1 and len(pending) > 1)
+        )
+        try:
+            if supervise:
+                supervisor = _Supervisor(
+                    pending,
+                    scale=args.scale,
+                    seed=seed,
+                    child_jobs=args.jobs if len(pending) == 1 else 1,
+                    max_workers=min(args.jobs, len(pending)),
+                    timeout=args.timeout,
+                    retries=args.retries,
+                    backoff=float(
+                        os.environ.get(RETRY_BACKOFF_ENV, "") or 1.0
+                    ),
+                    profile_dir=profile_dir,
+                    checkpoint=checkpoint,
+                    emitter=emitter,
+                )
+                # The heartbeat thread starts only after construction; the
+                # supervisor forks fresh children throughout the run.
+                heartbeat.start()
+                failures = supervisor.run()
+            else:
+                heartbeat.start()
+                for name in pending:
+                    cell_path = None
+                    if checkpoint is not None and name in CELL_PARALLEL:
+                        cell_path = str(checkpoint.cell_journal_path(name))
+                    _, table, elapsed = _run_single(
+                        name, args.scale, seed, jobs=args.jobs,
+                        profile_dir=profile_dir,
+                        cell_journal_path=cell_path,
+                    )
+                    if checkpoint is not None:
+                        checkpoint.record(name, table, elapsed)
+                    emitter.ready(name, table, elapsed)
+        except KeyboardInterrupt:
+            if checkpoint is not None:
+                checkpoint.journal_event("interrupted")
+                print(
+                    f"\n[interrupted] completed work is checkpointed;"
+                    f" resume with: --resume {checkpoint.run_id}",
+                    file=sys.stderr,
+                )
+            raise
+        finally:
+            heartbeat.stop()
+        if checkpoint is not None:
+            checkpoint.journal_event(
+                "complete" if not failures else "partial",
+                failed=sorted(failures),
+            )
     finally:
-        heartbeat.stop()
+        if checkpoint is not None:
+            checkpoint.close()
         if trace_path is not None:
             close_tracer()  # flush this process's part file
             if saved_trace_env is None:
@@ -320,16 +859,30 @@ def main(argv: list[str] | None = None) -> int:
                 timespec="seconds"
             ),
             "scale": resolve_scale(args.scale),
-            "seed": args.seed,
+            "seed": seed,
             "jobs": args.jobs,
             "cpus": os.cpu_count(),
             "kernels": resolve_kernels(args.kernels),
             "experiments": {name: round(t, 3) for name, t in timings.items()},
             "total_s": round(total, 3),
         }
+        if args.resume is not None:
+            record["resumed"] = args.resume
+        if failures:
+            record["failed"] = sorted(failures)
         path = Path(args.bench_json)
         _append_bench_record(path, record)
         print(f"bench record appended to {path}")
+
+    if failures:
+        print(_failed_table(failures).to_text())
+        if checkpoint is not None:
+            print(
+                f"[partial failure] retry the failed experiments with:"
+                f" --resume {checkpoint.run_id}",
+                file=sys.stderr,
+            )
+        return EXIT_PARTIAL
     return 0
 
 
@@ -341,24 +894,6 @@ def _describe(fn: Callable) -> str:
         if line:
             return line
     return ""
-
-
-def _report(
-    results, args, timings: dict[str, float], heartbeat: Heartbeat | None = None
-) -> None:
-    """Print each finished table (and optionally save it)."""
-    for name, table, elapsed in results:
-        timings[name] = elapsed
-        if heartbeat is not None:
-            heartbeat.advance()
-        if not args.quiet:
-            print(table.to_text())
-        print(f"[{name} finished in {elapsed:.1f}s]")
-        if not args.quiet:
-            print()
-        if args.save:
-            path = table.save()
-            print(f"saved {path}")
 
 
 if __name__ == "__main__":

@@ -28,6 +28,8 @@ from __future__ import annotations
 
 import os
 
+from repro.errors import ConfigError
+
 #: Environment variable holding the process-wide default kernel mode.
 KERNELS_ENV = "REPRO_KERNELS"
 
@@ -41,7 +43,9 @@ def resolve_kernels(kernels: "str | None" = None) -> str:
     if value is None or value == "":
         return "scalar"
     if value not in KERNEL_MODES:
-        raise ValueError(
+        raise ConfigError(
             f"kernels must be one of {KERNEL_MODES}, got {value!r}"
+            f" (check the {KERNELS_ENV} environment variable or the"
+            " kernels= argument)"
         )
     return value

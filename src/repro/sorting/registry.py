@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.errors import ConfigError
+
 from .base import BaseSorter
 from .insertion import InsertionSort
 from .mergesort import Mergesort
@@ -49,7 +51,7 @@ def make_sorter(name: str, **kwargs) -> BaseSorter:
     try:
         factory = _FACTORIES[name]
     except KeyError:
-        raise ValueError(
+        raise ConfigError(
             f"unknown sorter {name!r}; available: {', '.join(available_sorters())}"
         ) from None
     if kwargs:

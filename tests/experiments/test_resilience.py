@@ -1,0 +1,331 @@
+"""Tests for the runner's resilience layer: supervision, retries,
+timeouts, fault injection, and checkpoint/resume (DESIGN.md section 10).
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.common import (
+    FAULT_CRASH_EXIT,
+    parse_fault_spec,
+)
+from repro.experiments.runner import EXIT_PARTIAL, main
+
+
+@pytest.fixture()
+def sandbox(tmp_path, monkeypatch):
+    """Isolated cwd + checkpoint root + instant retry backoff."""
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))
+    monkeypatch.setenv("REPRO_RETRY_BACKOFF_S", "0.01")
+    monkeypatch.delenv("REPRO_FAULT", raising=False)
+    return tmp_path
+
+
+def tables(text: str) -> list[str]:
+    """Strip status/timing lines; what remains is the measured output."""
+    return [
+        line for line in text.splitlines()
+        if not line.startswith("[") and not line.startswith("merged")
+        and not line.startswith("bench record")
+    ]
+
+
+class TestFaultSpec:
+    def test_parses_clauses(self):
+        assert parse_fault_spec("crash:fig09") == [("crash", "fig09", None)]
+        assert parse_fault_spec("crash:fig09:1,hang:table3") == [
+            ("crash", "fig09", 1), ("hang", "table3", None),
+        ]
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ConfigError, match="clause"):
+            parse_fault_spec("explode:fig09")
+
+    def test_rejects_bad_limit(self):
+        with pytest.raises(ConfigError, match="limit"):
+            parse_fault_spec("crash:fig09:soon")
+
+    def test_counted_clause_requires_fault_dir(self, monkeypatch):
+        from repro.experiments.common import maybe_inject_fault
+
+        monkeypatch.setenv("REPRO_FAULT", "crash:fig02:1")
+        monkeypatch.delenv("REPRO_FAULT_DIR", raising=False)
+        with pytest.raises(ConfigError, match="REPRO_FAULT_DIR"):
+            maybe_inject_fault("fig02")
+
+    def test_no_spec_is_a_noop(self, monkeypatch):
+        from repro.experiments.common import maybe_inject_fault
+
+        monkeypatch.delenv("REPRO_FAULT", raising=False)
+        maybe_inject_fault("fig02")  # must not raise or exit
+
+
+class TestSupervision:
+    """--timeout/--retries run each experiment in its own process group."""
+
+    def test_retry_succeeds_after_injected_crash(
+        self, sandbox, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_FAULT", "crash:fig02:1")
+        monkeypatch.setenv("REPRO_FAULT_DIR", str(sandbox / "faults"))
+        assert main(
+            ["--exp", "fig02", "--scale", "smoke", "--retries", "2"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "retrying" in captured.err
+        assert f"exit code {FAULT_CRASH_EXIT}" in captured.err
+        assert "== fig02" in captured.out
+
+    def test_crash_is_isolated_from_other_experiments(
+        self, sandbox, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_FAULT", "crash:fig02")
+        code = main(
+            ["--exp", "fig02", "--exp", "table3", "--scale", "smoke",
+             "--jobs", "2"]
+        )
+        assert code == EXIT_PARTIAL
+        captured = capsys.readouterr()
+        # The crashed worker must not take down its sibling.
+        assert "== table3" in captured.out
+        assert "== FAILED" in captured.out
+        assert "fig02" in captured.out.split("== FAILED")[1]
+
+    def test_timeout_kills_hung_worker(self, sandbox, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_FAULT", "hang:fig02")
+        code = main(
+            ["--exp", "fig02", "--exp", "table3", "--scale", "smoke",
+             "--timeout", "2"]
+        )
+        assert code == EXIT_PARTIAL
+        captured = capsys.readouterr()
+        assert "timed out after 2s" in captured.err
+        assert "== table3" in captured.out
+        assert "== FAILED" in captured.out
+
+    def test_worker_exception_is_reported_not_raised(
+        self, sandbox, monkeypatch, capsys
+    ):
+        # An in-experiment exception under supervision becomes a FAILED row
+        # naming the exception, not a traceback (workers fork, so patching
+        # the registry here is visible to them).
+        from repro.experiments import runner
+
+        def boom(scale=None, seed=0, **kwargs):
+            raise ValueError("the experiment itself broke")
+
+        monkeypatch.setitem(runner.EXPERIMENTS, "fig02", boom)
+        code = main(
+            ["--exp", "fig02", "--scale", "smoke", "--timeout", "30"]
+        )
+        assert code == EXIT_PARTIAL
+        captured = capsys.readouterr()
+        assert "ValueError: the experiment itself broke" in captured.err
+        assert "== FAILED" in captured.out
+
+    def test_supervised_output_identical_to_sequential(
+        self, sandbox, capsys
+    ):
+        assert main(["--exp", "fig02", "--scale", "smoke"]) == 0
+        plain = capsys.readouterr().out
+        assert main(
+            ["--exp", "fig02", "--scale", "smoke", "--retries", "1"]
+        ) == 0
+        supervised = capsys.readouterr().out
+        assert tables(supervised) == tables(plain)
+
+
+class TestCheckpointResumeCLI:
+    def test_resume_restores_and_matches(self, sandbox, capsys):
+        argv = ["--exp", "fig02", "--exp", "table3", "--scale", "smoke"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+
+        assert main(argv + ["--checkpoint", "demo"]) == 0
+        capsys.readouterr()
+        assert main(["--resume", "demo"]) == 0
+        captured = capsys.readouterr()
+        assert "2/2 experiments restored" in captured.err
+        assert "restored from checkpoint" in captured.out
+        assert tables(captured.out) == tables(plain)
+
+    def test_resume_reuses_recorded_selection_and_seed(
+        self, sandbox, capsys
+    ):
+        assert main(
+            ["--exp", "fig02", "--scale", "smoke", "--seed", "3",
+             "--checkpoint", "demo"]
+        ) == 0
+        capsys.readouterr()
+        # No --exp/--scale/--seed: everything comes from the manifest.
+        assert main(["--resume", "demo"]) == 0
+        out = capsys.readouterr().out
+        assert "fig02 restored" in out
+
+    def test_resume_config_mismatch_exits_2(self, sandbox, capsys):
+        assert main(
+            ["--exp", "fig02", "--scale", "smoke", "--checkpoint", "demo"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["--resume", "demo", "--seed", "9"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot resume" in err and "seed" in err
+
+    def test_resume_unknown_run_exits_2(self, sandbox, capsys):
+        assert main(["--resume", "nope"]) == 2
+        assert "unknown run id" in capsys.readouterr().err
+
+    def test_corrupt_journal_exits_2_with_path(self, sandbox, capsys):
+        assert main(
+            ["--exp", "fig02", "--scale", "smoke", "--checkpoint", "demo"]
+        ) == 0
+        capsys.readouterr()
+        journal = sandbox / "runs" / "demo" / "journal.jsonl"
+        with open(journal, "a") as sink:
+            sink.write("garbage line\n")
+        assert main(["--resume", "demo"]) == 2
+        err = capsys.readouterr().err
+        assert "corrupt checkpoint" in err
+        assert str(journal) in err
+
+    def test_resume_plus_checkpoint_rejected(self, sandbox):
+        with pytest.raises(SystemExit):
+            main(["--resume", "a", "--checkpoint", "b"])
+
+    def test_checkpoint_id_collision_exits_2(self, sandbox, capsys):
+        argv = ["--exp", "fig02", "--scale", "smoke", "--checkpoint", "demo"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 2
+        assert "already exists" in capsys.readouterr().err
+
+    def test_list_marks_cell_parallel_experiments(self, sandbox, capsys):
+        assert main(["--list"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        marked = {
+            line.split()[0] for line in lines if "cell-parallel" in line
+        }
+        assert marked == {"fig09", "ext_variance"}
+
+
+class TestInterruptedRunRegression:
+    """The acceptance criterion: a run interrupted by a crash or hang and
+    then resumed produces bit-identical tables to an uninterrupted run.
+
+    Driven through real subprocesses because the injected crash takes the
+    whole worker (or, unsupervised, the whole runner) down via os._exit.
+    """
+
+    ARGV = [
+        "--exp", "ext_variance", "--exp", "fig02", "--exp", "table3",
+        "--scale", "smoke", "--jobs", "2",
+    ]
+
+    def _run(self, tmp_path, extra, fault=None):
+        env = dict(
+            os.environ,
+            PYTHONPATH=str(Path(__file__).resolve().parents[2] / "src"),
+            REPRO_RUNS_DIR=str(tmp_path / "runs"),
+            REPRO_RETRY_BACKOFF_S="0.01",
+        )
+        env.pop("REPRO_FAULT", None)
+        if fault is not None:
+            env["REPRO_FAULT"] = fault
+        return subprocess.run(
+            [sys.executable, "-m", "repro.experiments.runner"]
+            + self.ARGV + extra,
+            capture_output=True, text=True, timeout=300,
+            cwd=tmp_path, env=env,
+        )
+
+    def test_crash_interrupt_then_resume_bit_identical(self, tmp_path):
+        plain = self._run(tmp_path, [])
+        assert plain.returncode == 0, plain.stderr
+
+        broken = self._run(
+            tmp_path, ["--checkpoint", "bits"], fault="crash:fig02"
+        )
+        assert broken.returncode == EXIT_PARTIAL, broken.stderr
+        run_dir = tmp_path / "runs" / "bits"
+        assert (run_dir / "result-table3.json").exists()
+        # The cell-parallel experiment journaled its cells too.
+        assert (run_dir / "cells-ext_variance.jsonl").exists()
+
+        resumed = self._run(tmp_path, ["--resume", "bits"])
+        assert resumed.returncode == 0, resumed.stderr
+        assert "restored from checkpoint" in resumed.stdout
+        assert tables(resumed.stdout) == tables(plain.stdout)
+
+    def test_hang_timeout_then_resume_bit_identical(self, tmp_path):
+        plain = self._run(tmp_path, [])
+        assert plain.returncode == 0, plain.stderr
+
+        hung = self._run(
+            tmp_path, ["--checkpoint", "bits", "--timeout", "3"],
+            fault="hang:table3",
+        )
+        assert hung.returncode == EXIT_PARTIAL, hung.stderr
+        assert "timed out" in hung.stderr
+
+        resumed = self._run(tmp_path, ["--resume", "bits"])
+        assert resumed.returncode == 0, resumed.stderr
+        assert tables(resumed.stdout) == tables(plain.stdout)
+
+    def test_unsupervised_crash_then_resume(self, tmp_path):
+        # jobs=1, no retries/timeout: the injected crash kills the runner
+        # itself mid-run — the closest simulation of a real OOM kill or
+        # power loss — and the journaled prefix still resumes cleanly.
+        plain = self._run(tmp_path, ["--jobs", "1"])
+        assert plain.returncode == 0, plain.stderr
+
+        killed = self._run(
+            tmp_path, ["--jobs", "1", "--checkpoint", "bits"],
+            fault="crash:table3",
+        )
+        assert killed.returncode == FAULT_CRASH_EXIT
+
+        resumed = self._run(tmp_path, ["--jobs", "1", "--resume", "bits"])
+        assert resumed.returncode == 0, resumed.stderr
+        assert tables(resumed.stdout) == tables(plain.stdout)
+
+
+class TestResumeTracing:
+    def test_resume_emits_span_and_counters(self, sandbox, capsys):
+        from repro.obs.io import iter_events
+
+        assert main(
+            ["--exp", "fig02", "--scale", "smoke", "--checkpoint", "demo"]
+        ) == 0
+        capsys.readouterr()
+        trace = sandbox / "trace.jsonl"
+        assert main(["--resume", "demo", "--trace", str(trace)]) == 0
+        events = list(iter_events(trace))
+        spans = {e["name"] for e in events if e.get("ev") == "span_end"}
+        assert "run.resume" in spans
+        counters = {e["name"] for e in events if e.get("ev") == "counter"}
+        assert "run.restored" in counters
+
+    def test_retry_emits_counter(self, sandbox, monkeypatch, capsys):
+        from repro.obs.io import iter_events
+
+        monkeypatch.setenv("REPRO_FAULT", "crash:fig02:1")
+        monkeypatch.setenv("REPRO_FAULT_DIR", str(sandbox / "faults"))
+        trace = sandbox / "trace.jsonl"
+        assert main(
+            ["--exp", "fig02", "--scale", "smoke", "--retries", "2",
+             "--trace", str(trace)]
+        ) == 0
+        events = list(iter_events(trace))
+        retries = [
+            e for e in events
+            if e.get("ev") == "counter" and e["name"] == "run.retry"
+        ]
+        assert len(retries) == 1
+        assert retries[0]["attrs"]["experiment"] == "fig02"
