@@ -146,8 +146,32 @@ class _JournalWriter:
         self.path = path
         self._sink: Optional[IO[str]] = None
 
+    def _repair_torn_tail(self) -> None:
+        """Drop a torn final line left by a process killed mid-append.
+
+        Readers tolerate a torn line only as the file's *tail*; appending
+        straight after one would merge the fragment and the next event into
+        a single malformed interior line, turning the journal unreadable on
+        the following resume.  The fragment carries no complete event, so
+        truncating it loses nothing a reader would have kept.
+        """
+        try:
+            with open(self.path, "r+b") as sink:
+                sink.seek(0, os.SEEK_END)
+                size = sink.tell()
+                if size == 0:
+                    return
+                sink.seek(size - 1)
+                if sink.read(1) == b"\n":
+                    return
+                sink.seek(0)
+                sink.truncate(sink.read().rfind(b"\n") + 1)
+        except FileNotFoundError:
+            return
+
     def append(self, event: dict) -> None:
         if self._sink is None:
+            self._repair_torn_tail()
             self._sink = open(self.path, "a", encoding="utf-8")
         self._sink.write(json.dumps(event, separators=(",", ":")) + "\n")
         self._sink.flush()
@@ -304,6 +328,11 @@ class RunCheckpoint:
         results: dict[str, tuple[ExperimentTable, float]] = {}
         for path in sorted(self.directory.glob("result-*.json")):
             payload = _load_json(path, "result record")
+            name = payload.get("experiment")
+            if not isinstance(name, str) or not name:
+                raise CheckpointCorruptError(
+                    path, "result record carries no experiment name"
+                )
             data = payload.get("table")
             if not isinstance(data, dict) or not all(
                 field in data for field in _TABLE_FIELDS
@@ -314,9 +343,7 @@ class RunCheckpoint:
             table = ExperimentTable(
                 **{field: data[field] for field in _TABLE_FIELDS}
             )
-            results[payload["experiment"]] = (
-                table, float(payload.get("elapsed_s", 0.0))
-            )
+            results[name] = (table, float(payload.get("elapsed_s", 0.0)))
         return results
 
     def cell_journal_path(self, name: str) -> Path:

@@ -407,7 +407,12 @@ class _Supervisor:
     def _await_events(self) -> None:
         now = time.monotonic()
         horizons = [j.deadline - now for j in self.running]
-        horizons += [j.not_before - now for j in self.waiting]
+        # Only backoff windows bound the wait; a job queued purely because
+        # max_workers is reached (not_before in the past) must not clamp
+        # the timeout to zero and spin the supervisor.
+        horizons += [
+            j.not_before - now for j in self.waiting if j.not_before > now
+        ]
         wait_s = max(min(horizons), 0.0) if horizons else None
         if wait_s is not None and math.isinf(wait_s):
             wait_s = None

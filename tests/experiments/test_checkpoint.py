@@ -112,6 +112,33 @@ class TestCorruption:
         loaded = RunCheckpoint.load("r1", root=tmp_path)
         assert "fig02" in loaded.completed()
 
+    def test_append_after_torn_tail_keeps_journal_readable(self, tmp_path):
+        # The documented crash scenario, twice over: a resume that journals
+        # new events after a SIGKILL mid-append must not merge them into the
+        # torn fragment — the *second* resume has to succeed too.
+        checkpoint = self._run(tmp_path)
+        journal = checkpoint.directory / "journal.jsonl"
+        with open(journal, "a") as sink:
+            sink.write('{"schema": 1, "ev": "do')  # killed mid-append
+        resumed = RunCheckpoint.load("r1", root=tmp_path)
+        resumed.journal_event("resume")
+        resumed.close()
+        events = read_journal(journal)
+        assert events[-1]["ev"] == "resume"
+        assert "fig02" in RunCheckpoint.load("r1", root=tmp_path).completed()
+
+    def test_result_record_missing_experiment_raises_with_path(self, tmp_path):
+        checkpoint = self._run(tmp_path)
+        result = checkpoint.directory / "result-fig02.json"
+        payload = json.loads(result.read_text())
+        del payload["experiment"]
+        result.write_text(json.dumps(payload))
+        with pytest.raises(
+            CheckpointCorruptError, match="experiment name"
+        ) as excinfo:
+            RunCheckpoint.load("r1", root=tmp_path)
+        assert excinfo.value.path == result
+
     def test_garbage_journal_line_raises_with_path(self, tmp_path):
         checkpoint = self._run(tmp_path)
         journal = checkpoint.directory / "journal.jsonl"
@@ -220,6 +247,21 @@ class TestCellJournal:
         with open(path, "a") as sink:
             sink.write('{"schema": 1, "cell": 1, "ke')  # killed mid-append
         assert CellJournal(path).load(self.CELLS) == {0: 1.5}
+
+    def test_record_after_torn_tail_keeps_journal_readable(self, tmp_path):
+        # A retried experiment appends fresh cells after a mid-append kill;
+        # the next load (second recovery) must still parse the journal.
+        path = tmp_path / "cells.jsonl"
+        journal = CellJournal(path)
+        journal.record(0, self.CELLS[0], 1.5)
+        journal.close()
+        with open(path, "a") as sink:
+            sink.write('{"schema": 1, "cell": 1, "ke')  # killed mid-append
+        retry = CellJournal(path)
+        assert retry.load(self.CELLS) == {0: 1.5}
+        retry.record(1, self.CELLS[1], 2.5)
+        retry.close()
+        assert CellJournal(path).load(self.CELLS) == {0: 1.5, 1: 2.5}
 
 
 class TestIterRuns:

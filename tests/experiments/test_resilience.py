@@ -130,6 +130,41 @@ class TestSupervision:
         assert "ValueError: the experiment itself broke" in captured.err
         assert "== FAILED" in captured.out
 
+    def test_queued_jobs_do_not_clamp_wait_to_zero(self, monkeypatch):
+        # Jobs queued only because max_workers is reached (not_before in the
+        # past) must not bound the supervisor's wait: a zero timeout makes
+        # _mp_wait return immediately and the loop hot-spin for the whole
+        # run whenever pending experiments exceed --jobs.
+        import math
+        import time
+
+        from repro.experiments import runner as runner_mod
+        from repro.experiments.runner import _Job, _Supervisor
+
+        sup = _Supervisor.__new__(_Supervisor)
+        running = _Job("fig02")
+        running.deadline = math.inf
+        running.process = type("H", (), {"sentinel": object()})()
+        running.conn = object()
+        sup.running = [running]
+        sup.waiting = [_Job("fig03"), _Job("fig04")]  # queued, not backing off
+        sup._poll = lambda job, now: None
+
+        captured = {}
+
+        def fake_wait(handles, timeout=None):
+            captured["timeout"] = timeout
+            return []
+
+        monkeypatch.setattr(runner_mod, "_mp_wait", fake_wait)
+        sup._await_events()
+        assert captured["timeout"] is None  # block until a child event
+
+        # A genuine backoff window still bounds the wait.
+        sup.waiting[0].not_before = time.monotonic() + 5.0
+        sup._await_events()
+        assert 0.0 < captured["timeout"] <= 5.0
+
     def test_supervised_output_identical_to_sequential(
         self, sandbox, capsys
     ):
