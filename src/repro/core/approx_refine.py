@@ -34,6 +34,7 @@ from repro.metrics.sortedness import error_rate_multiset, rem_ratio
 from repro.obs import StageRecorder, get_tracer
 from repro.sorting.base import BaseSorter
 from repro.sorting.registry import make_sorter, with_kernels
+from repro.verify import checks_performed, sanitize, sanitizing
 
 from .refine import find_rem_ids, merge_refined, sort_rem_ids
 from .report import ApproxRefineResult, BaselineResult
@@ -93,6 +94,11 @@ def run_approx_refine(
     stats = MemoryStats()
     tracer = get_tracer()
     stages = StageRecorder(stats, tracer)
+    # REPRO_SANITIZE wraps the pipeline arrays in invariant-checking
+    # shadows (repro.verify).  Checked only here, at allocation scope —
+    # an unsanitized run never sees a wrapper on any access path.
+    wrap = sanitize if sanitizing() else (lambda array: array)
+    checks_before = checks_performed()
 
     def hook(name: str, region: str):
         return trace.hook_for(name, region) if trace is not None else None
@@ -105,16 +111,18 @@ def run_approx_refine(
         # Stage: warm-up (allocation of the inputs; unaccounted by
         # definition).
         with stages.stage("warm_up"):
-            key0 = PreciseArray(
+            key0 = wrap(PreciseArray(
                 keys, stats=stats, name="Key0", trace=hook("Key0", "precise")
-            )
-            ids = PreciseArray(
+            ))
+            ids = wrap(PreciseArray(
                 range(n), stats=stats, name="ID", trace=hook("ID", "precise")
-            )
+            ))
 
         # Stage: approx preparation (accounted copy Key0 -> Key~).
         with stages.stage("approx_preparation"):
-            approx_keys = memory.make_array([0] * n, stats=stats, seed=seed)
+            approx_keys = wrap(
+                memory.make_array([0] * n, stats=stats, seed=seed)
+            )
             approx_keys.trace = hook("Key~", "approx")
             approx_keys.load_from(key0)
 
@@ -140,18 +148,24 @@ def run_approx_refine(
 
         # Refine step 3: merge into the final precise output.
         with stages.stage("refine_merge"):
-            final_keys = PreciseArray(
+            final_keys = wrap(PreciseArray(
                 [0] * n, stats=stats, name="finalKey",
                 trace=hook("finalKey", "precise"),
-            )
-            final_ids = PreciseArray(
+            ))
+            final_ids = wrap(PreciseArray(
                 [0] * n, stats=stats, name="finalID",
                 trace=hook("finalID", "precise"),
-            )
+            ))
             merge_refined(
                 ids, key0, sorted_rem_ids, final_keys, final_ids,
                 kernels=kernels,
             )
+
+    if tracer.enabled and checks_performed() > checks_before:
+        tracer.counter(
+            "verify.sanitizer_checks", checks_performed() - checks_before,
+            attrs={"algorithm": algorithm.name, "n": n},
+        )
 
     return ApproxRefineResult(
         final_keys=final_keys.to_list(),
@@ -180,6 +194,7 @@ def run_precise_baseline(
     """
     algorithm = _resolve_sorter(sorter, kernels)
     stats = MemoryStats()
+    wrap = sanitize if sanitizing() else (lambda array: array)
 
     def hook(name: str, region: str):
         return trace.hook_for(name, region) if trace is not None else None
@@ -188,13 +203,13 @@ def run_precise_baseline(
         "precise_baseline", stats=stats,
         attrs={"algorithm": algorithm.name, "n": len(keys)},
     ):
-        key_array = PreciseArray(
+        key_array = wrap(PreciseArray(
             keys, stats=stats, name="Key", trace=hook("Key", "precise")
-        )
-        id_array = PreciseArray(
+        ))
+        id_array = wrap(PreciseArray(
             range(len(keys)), stats=stats, name="ID",
             trace=hook("ID", "precise"),
-        )
+        ))
         algorithm.sort(key_array, id_array)
     return BaselineResult(
         final_keys=key_array.to_list(),
@@ -251,9 +266,13 @@ def run_approx_only(
     algorithm = _resolve_sorter(sorter, kernels)
     n = len(keys)
     stats = MemoryStats()
-    approx_keys = memory.make_array([0] * n, stats=stats, seed=seed)
+    wrap = sanitize if sanitizing() else (lambda array: array)
+    approx_keys = wrap(memory.make_array([0] * n, stats=stats, seed=seed))
     approx_keys.write_block(0, list(keys))
-    ids = PreciseArray(range(n), stats=stats, name="ID") if include_ids else None
+    ids = (
+        wrap(PreciseArray(range(n), stats=stats, name="ID"))
+        if include_ids else None
+    )
     algorithm.sort(approx_keys, ids)
     output = approx_keys.to_list()
     return ApproxOnlyResult(

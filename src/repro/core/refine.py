@@ -36,6 +36,7 @@ from repro.memory.approx_array import InstrumentedArray, PreciseArray
 from repro.memory.stats import MemoryStats
 from repro.obs import get_tracer
 from repro.sorting.base import BaseSorter
+from repro.verify import sanitize, sanitizing
 
 
 def _use_np(kernels: Optional[str], *arrays: InstrumentedArray) -> bool:
@@ -186,6 +187,9 @@ def sort_rem_ids(
     shadow_stats = MemoryStats()
     shadow_keys = PreciseArray(rem_keys, stats=shadow_stats)
     id_array = PreciseArray(rem_ids, stats=stats)
+    if sanitizing():
+        shadow_keys = sanitize(shadow_keys)
+        id_array = sanitize(id_array)
     sorter.sort(shadow_keys, id_array)
     # Key comparisons during the sort are Key0 reads in the paper's design.
     stats.record_precise_read(shadow_stats.precise_reads)

@@ -19,6 +19,11 @@ The hierarchy:
   ``.repro_runs/<run-id>/`` cannot be trusted: a manifest, journal or result
   file failed to parse or carries an unknown schema version.  Always names
   the offending path so the operator can inspect or delete it.
+* :class:`SanitizerError` — the runtime sanitizer (``repro.verify``) caught
+  an invariant violation: an out-of-bounds access, an unaccounted or
+  miscounted memory operation, or array contents diverging from what the
+  modeled corruption permits.  Carries enough context (array, operation,
+  index) to reproduce the offending access.
 """
 
 from __future__ import annotations
@@ -58,6 +63,35 @@ class ExperimentError(ReproError):
         self.attempts = attempts
         noun = "attempt" if attempts == 1 else "attempts"
         super().__init__(f"{name} failed after {attempts} {noun}: {reason}")
+
+
+class SanitizerError(ReproError):
+    """The runtime sanitizer observed an invariant violation.
+
+    Attributes
+    ----------
+    invariant:
+        Short name of the violated invariant (``"bounds"``, ``"accounting"``,
+        ``"integrity"``, ``"word_range"``, ``"divergence"``).
+    array:
+        Name/region label of the offending array.
+    op:
+        The operation during which the violation was observed
+        (``"write_block"``, ``"gather_np"``, ...).
+    detail:
+        Human-readable description with the observed and expected values.
+    """
+
+    def __init__(
+        self, invariant: str, array: str, op: str, detail: str
+    ) -> None:
+        self.invariant = invariant
+        self.array = array
+        self.op = op
+        self.detail = detail
+        super().__init__(
+            f"sanitizer: {invariant} violation in {op} on {array!r}: {detail}"
+        )
 
 
 class CheckpointCorruptError(ReproError):

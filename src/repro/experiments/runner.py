@@ -42,6 +42,13 @@ array file, ``BENCH_runner.json`` by default.
 (workers included), switching every sorter and refine call to the
 vectorized kernels; accounted counts are unchanged (DESIGN.md section 8).
 
+``--sanitize`` exports ``REPRO_SANITIZE=1`` for the whole run: the
+pipelines wrap their arrays in the :mod:`repro.verify` runtime sanitizer,
+which re-checks bounds, accounting conservation and corruption-modeling
+invariants on every access.  Results are bit-identical to an unsanitized
+run (the sanitizer is observation-only); wall-clock is several times
+slower (docs/verifying.md).
+
 ``--trace [PATH]`` turns on structured tracing (DESIGN.md section 9):
 every process of the run appends span/counter/gauge events to its own
 per-pid JSONL file, and the runner merges them into ``PATH`` (default
@@ -76,6 +83,7 @@ from repro.errors import CheckpointCorruptError, ConfigError
 from repro.kernels import KERNEL_MODES, KERNELS_ENV, resolve_kernels
 from repro.obs import TRACE_DIR_ENV, close_tracer, get_tracer
 from repro.obs.io import merge_traces
+from repro.verify import SANITIZE_ENV
 
 from .checkpoint import RunCheckpoint
 from .common import (
@@ -632,6 +640,13 @@ def _build_parser() -> argparse.ArgumentParser:
         f" {KERNELS_ENV} environment variable, else scalar",
     )
     parser.add_argument(
+        "--sanitize", action="store_true",
+        help="run with the repro.verify runtime sanitizer: every array"
+        " access is invariant-checked against a precise shadow copy"
+        f" (exports {SANITIZE_ENV}=1 for the whole run, workers included;"
+        " results are bit-identical, wall-clock is several times slower)",
+    )
+    parser.add_argument(
         "--trace", nargs="?", const="trace.jsonl", default=None,
         metavar="PATH",
         help="write structured span/counter/gauge events; per-process"
@@ -676,6 +691,9 @@ def _main(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         # Exported (not passed down) so fork-inherited worker processes and
         # every make_sorter()/refine call see the same mode.
         os.environ[KERNELS_ENV] = args.kernels
+    if args.sanitize:
+        # Same export pattern; the pipelines check it at allocation sites.
+        os.environ[SANITIZE_ENV] = "1"
 
     if args.list:
         width = max(len(name) for name in EXPERIMENTS)

@@ -206,6 +206,15 @@ class InstrumentedArray:
             dtype=np.uint32,
         )
 
+    def peek_gather_np(self, indices: np.ndarray) -> np.ndarray:
+        """Unaccounted read of arbitrary indices — for test/sanitizer oracles.
+
+        The shadow bookkeeping of :mod:`repro.verify` uses this to inspect
+        scattered-to positions without touching the accounting or any RNG
+        stream (peeks must stay observationally invisible).
+        """
+        return self._data[np.asarray(indices, dtype=np.int64)]
+
     def _trace_block(self, op: str, start: int, count: int) -> None:
         """Emit one trace event per element of a block access."""
         trace = self.trace
@@ -275,15 +284,18 @@ class PreciseArray(InstrumentedArray):
         return self._mv[index]
 
     def write(self, index: int, value: int) -> None:
-        self.stats.record_precise_write()
-        if self.trace is not None:
-            self.trace("W", self.region, index)
         try:
             # The uint32 memoryview rejects out-of-range values itself, so
             # the hot path needs no explicit bounds check.
             self._mv[index] = value
         except (ValueError, TypeError):
             self._data[index] = _check_word(value)  # canonical error message
+        # Accounting and tracing happen only once the store is accepted: a
+        # rejected out-of-range value must not move the write counters
+        # (regression-tested in tests/verify/test_sanitizer.py).
+        self.stats.record_precise_write()
+        if self.trace is not None:
+            self.trace("W", self.region, index)
 
 
 class ApproxArray(InstrumentedArray):

@@ -112,6 +112,21 @@ class MemoryStats:
         self.corrupted_writes += other.corrupted_writes
         return self
 
+    def as_dict(self) -> dict:
+        """Plain-dict view of the counters (exact, JSON-serializable).
+
+        The canonical form for bit-identity comparisons (the differential
+        oracle of :mod:`repro.verify`) and for persisted records.
+        """
+        return {
+            "precise_reads": self.precise_reads,
+            "precise_writes": self.precise_writes,
+            "approx_reads": self.approx_reads,
+            "approx_writes": self.approx_writes,
+            "approx_write_units": self.approx_write_units,
+            "corrupted_writes": self.corrupted_writes,
+        }
+
     def snapshot(self) -> "MemoryStats":
         """Return an independent copy of the current counters."""
         return MemoryStats(

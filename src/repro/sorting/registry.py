@@ -37,6 +37,27 @@ for _bits in (3, 4, 5, 6):
     )(_bits)
 
 
+#: Sorters whose scalar and numpy kernel paths consume the corruption RNG
+#: streams identically on *approximate* memory, making whole approx-refine
+#: runs bit-identical across kernel modes.  These are the per-pair/block
+#: writers: their scalar path already moves keys through the same
+#: ``write_block``-shaped accesses the kernels batch.  Quicksort (swap
+#: scatters) and mergesort (level-grouped block writes) draw the same
+#: distribution through differently-shaped sampler calls, so they agree
+#: only statistically (DESIGN.md section 8).  The differential oracle in
+#: :mod:`repro.verify` keys its exact-vs-statistical equivalence classes
+#: off this set.
+APPROX_KERNEL_EXACT = frozenset(
+    name
+    for name in (
+        "insertion",
+        "natural_merge",
+        *(f"{fam}{bits}" for fam in ("lsd", "msd", "hlsd", "hmsd")
+          for bits in (3, 4, 5, 6)),
+    )
+)
+
+
 def available_sorters() -> list[str]:
     """Names accepted by :func:`make_sorter`, sorted alphabetically."""
     return sorted(_FACTORIES)

@@ -1,0 +1,57 @@
+"""Runtime verification: sanitizer, differential oracle, and fuzzer.
+
+Three layers, all opt-in and observation-only (DESIGN.md section 11):
+
+* :mod:`repro.verify.sanitizer` — :class:`SanitizedArray`, a proxy around
+  any :class:`repro.memory.approx_array.InstrumentedArray` that maintains a
+  precise shadow copy and checks bounds, word-range, accounting-delta and
+  divergence invariants on every operation.  Enabled per process with
+  ``REPRO_SANITIZE=1`` (the pipelines wrap their arrays through
+  :func:`maybe_sanitize`) or directly via :func:`sanitize`.
+* :mod:`repro.verify.oracle` — differential equivalence classes running one
+  ``(sorter, workload, memory, seed)`` case through independently built
+  execution paths that must agree (scalar/numpy kernels, traced/untraced,
+  resumed/uninterrupted), reporting the first divergent element.
+* :mod:`repro.verify.fuzz` — seeded random case generation over the oracle
+  with shrinking and replayable case files; ``python -m repro.verify fuzz``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .sanitizer import SanitizedArray, checks_performed, sanitize
+
+#: Environment variable enabling the sanitizer process-wide.  Truthy values
+#: are ``1``/``true``/``yes``/``on`` (case-insensitive); anything else —
+#: including unset — leaves arrays unwrapped, so the disabled path has
+#: structurally zero per-operation overhead.
+SANITIZE_ENV = "REPRO_SANITIZE"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def sanitizing() -> bool:
+    """Whether ``REPRO_SANITIZE`` asks for sanitized runs in this process.
+
+    Read per call (not cached) so tests and the experiment runner can toggle
+    the environment variable without re-importing; the check sits only at
+    array-creation sites — a handful per pipeline run — never in access
+    paths.
+    """
+    return os.environ.get(SANITIZE_ENV, "").strip().lower() in _TRUTHY
+
+
+def maybe_sanitize(array):
+    """Wrap ``array`` in a :class:`SanitizedArray` iff sanitizing is on."""
+    return sanitize(array) if sanitizing() else array
+
+
+__all__ = [
+    "SANITIZE_ENV",
+    "SanitizedArray",
+    "checks_performed",
+    "maybe_sanitize",
+    "sanitize",
+    "sanitizing",
+]

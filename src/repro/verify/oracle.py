@@ -1,0 +1,492 @@
+"""Differential oracle: one configuration, several must-agree executions.
+
+The repo has independently built execution paths that are required to be
+observationally equivalent; each *equivalence class* here runs one
+``(sorter, workload, memory config, seed)`` tuple through two such paths
+and compares everything observable:
+
+``scalar_numpy_precise``
+    Scalar vs numpy kernels on precise memory — bit-identical final keys,
+    final IDs, and :class:`MemoryStats` (DESIGN.md section 8's contract).
+``scalar_numpy_approx``
+    Scalar vs numpy kernels on approximate PCM.  Bit-identical for the
+    block-writing sorters (:data:`repro.sorting.registry.
+    APPROX_KERNEL_EXACT`); distributional for quicksort/mergesort, whose
+    kernels consume the corruption streams through differently-shaped
+    sampler calls — compared over several seeds with a two-sample
+    Kolmogorov–Smirnov test on per-run corruption rates (scipy when
+    available, with a conservative built-in fallback).
+``traced_untraced``
+    The same run with a live file tracer vs the NullTracer default —
+    bit-identical results *and* per-stage stats, plus the tiling law: the
+    seven Listing-1 stage deltas must sum exactly to the run totals.
+``resumed_uninterrupted``
+    A multi-cell computation journaled through
+    :class:`repro.experiments.checkpoint.CellJournal`, interrupted halfway
+    and resumed, vs the same cells computed in one pass — bit-identical
+    per-cell digests.
+
+Every divergence is reported as a :class:`Divergence` carrying the first
+differing element/counter and a replayable description of the case; the
+fuzzer (:mod:`repro.verify.fuzz`) shrinks failing cases by ``n`` before
+persisting them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import os
+import tempfile
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Optional
+
+from repro.core.approx_refine import run_approx_refine, run_precise_baseline
+from repro.memory.approx_array import WORD_LIMIT
+from repro.memory.config import MLCParams
+from repro.memory.factories import PCMMemoryFactory
+from repro.memory.stats import MemoryStats
+from repro.obs import NULL_TRACER, Tracer, set_tracer
+from repro.sorting.registry import APPROX_KERNEL_EXACT, available_sorters
+from repro.workloads.generators import GENERATORS, make_keys
+
+#: Monte-Carlo fit size for oracle-scope memory models (cached per T).
+ORACLE_FIT_SAMPLES = 8_000
+
+#: T values the oracle/fuzzer draw from (paper Figure 9's sweep range).
+T_CHOICES = (0.04, 0.055, 0.07, 0.1)
+
+#: Seeds per kernel mode for the distributional class.
+STAT_SEEDS = 8
+
+#: KS-test significance level.  With derandomized seeds the test statistic
+#: is deterministic, so this does not flake in CI.
+KS_ALPHA = 1e-3
+
+#: Oracle-only workloads beyond the registered generators.  ``max_word``
+#: is seed-independent (every key is the largest representable word — the
+#: P&V model's highest-cost, highest-error value), which disqualifies it
+#: from the generator registry's seed-sensitivity contract but makes it a
+#: prime fuzz edge case.
+EXTRA_WORKLOADS: dict[str, Callable[[int, int], list[int]]] = {
+    "max_word": lambda n, seed=0: [WORD_LIMIT - 1] * n,
+}
+
+
+@dataclass(frozen=True)
+class OracleCase:
+    """One fuzzable configuration: what to sort, where, and how."""
+
+    algorithm: str
+    workload: str = "uniform"
+    n: int = 300
+    t: float = 0.055
+    seed: int = 0
+
+    def keys(self) -> list[int]:
+        if self.workload in EXTRA_WORKLOADS:
+            return EXTRA_WORKLOADS[self.workload](self.n, self.seed)
+        return make_keys(self.workload, self.n, seed=self.seed)
+
+    def describe(self) -> str:
+        return (
+            f"algorithm={self.algorithm} workload={self.workload}"
+            f" n={self.n} T={self.t} seed={self.seed}"
+        )
+
+
+@dataclass
+class Divergence:
+    """One observed disagreement between two must-agree executions."""
+
+    equivalence: str
+    field: str
+    index: Optional[int]
+    expected: object
+    actual: object
+    detail: str = ""
+
+    def describe(self) -> str:
+        where = f"[{self.index}]" if self.index is not None else ""
+        text = (
+            f"{self.equivalence}: {self.field}{where}:"
+            f" expected {self.expected!r}, got {self.actual!r}"
+        )
+        if self.detail:
+            text += f" ({self.detail})"
+        return text
+
+
+@dataclass
+class CaseResult:
+    """Outcome of running one case through a set of equivalence classes."""
+
+    case: OracleCase
+    classes_run: list[str] = field(default_factory=list)
+    divergences: list[Divergence] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.divergences
+
+    def to_json(self) -> dict:
+        return {
+            "case": asdict(self.case),
+            "classes_run": self.classes_run,
+            "divergences": [asdict(d) for d in self.divergences],
+        }
+
+
+# --------------------------------------------------------------------- #
+# Comparison helpers
+# --------------------------------------------------------------------- #
+
+
+def _first_mismatch(
+    out: list[Divergence],
+    equivalence: str,
+    name: str,
+    expected: list,
+    actual: list,
+) -> None:
+    """Record the first divergent element of two sequences (if any)."""
+    if expected == actual:
+        return
+    if len(expected) != len(actual):
+        out.append(Divergence(
+            equivalence, name, None, len(expected), len(actual),
+            detail="length mismatch",
+        ))
+        return
+    for i, (want, got) in enumerate(zip(expected, actual)):
+        if want != got:
+            out.append(Divergence(equivalence, name, i, want, got))
+            return
+
+
+def _compare_stats(
+    out: list[Divergence],
+    equivalence: str,
+    name: str,
+    expected: MemoryStats,
+    actual: MemoryStats,
+) -> None:
+    """Record the first divergent counter of two stats payloads (if any)."""
+    want = expected.as_dict()
+    got = actual.as_dict()
+    for counter in want:
+        if want[counter] != got[counter]:
+            out.append(Divergence(
+                equivalence, f"{name}.{counter}", None,
+                want[counter], got[counter],
+            ))
+            return
+
+
+def digest_keys(keys: list[int]) -> str:
+    """Compact bit-exact digest of a key sequence."""
+    h = hashlib.sha256()
+    for key in keys:
+        h.update(key.to_bytes(4, "little"))
+    return h.hexdigest()[:16]
+
+
+_MEMORY_CACHE: dict[float, PCMMemoryFactory] = {}
+
+
+def memory_for(t: float) -> PCMMemoryFactory:
+    """PCM factory for ``T = t`` with the oracle fit size (process-cached)."""
+    if t not in _MEMORY_CACHE:
+        _MEMORY_CACHE[t] = PCMMemoryFactory(
+            MLCParams(t=t), fit_samples=ORACLE_FIT_SAMPLES
+        )
+    return _MEMORY_CACHE[t]
+
+
+# --------------------------------------------------------------------- #
+# Equivalence classes
+# --------------------------------------------------------------------- #
+
+
+def check_scalar_numpy_precise(case: OracleCase) -> list[Divergence]:
+    """Scalar ≡ numpy kernels on precise memory, bit for bit."""
+    out: list[Divergence] = []
+    keys = case.keys()
+    scalar = run_precise_baseline(keys, case.algorithm, kernels="scalar")
+    vector = run_precise_baseline(keys, case.algorithm, kernels="numpy")
+    name = "scalar_numpy_precise"
+    _first_mismatch(out, name, "final_keys", sorted(keys), scalar.final_keys)
+    _first_mismatch(out, name, "final_keys", scalar.final_keys,
+                    vector.final_keys)
+    _first_mismatch(out, name, "final_ids", scalar.final_ids,
+                    vector.final_ids)
+    _compare_stats(out, name, "stats", scalar.stats, vector.stats)
+    return out
+
+
+def check_scalar_numpy_approx(case: OracleCase) -> list[Divergence]:
+    """Scalar vs numpy kernels on approximate memory.
+
+    Exact for the block writers; distributional (KS on corruption rates,
+    plus exact sortedness of every output) for quicksort/mergesort.
+    """
+    out: list[Divergence] = []
+    name = "scalar_numpy_approx"
+    memory = memory_for(case.t)
+    keys = case.keys()
+    if case.algorithm in APPROX_KERNEL_EXACT:
+        scalar = run_approx_refine(
+            keys, case.algorithm, memory, seed=case.seed, kernels="scalar"
+        )
+        vector = run_approx_refine(
+            keys, case.algorithm, memory, seed=case.seed, kernels="numpy"
+        )
+        _first_mismatch(out, name, "final_keys", sorted(keys),
+                        scalar.final_keys)
+        _first_mismatch(out, name, "final_keys", scalar.final_keys,
+                        vector.final_keys)
+        _first_mismatch(out, name, "final_ids", scalar.final_ids,
+                        vector.final_ids)
+        if scalar.rem_tilde != vector.rem_tilde:
+            out.append(Divergence(
+                name, "rem_tilde", None, scalar.rem_tilde, vector.rem_tilde
+            ))
+        _compare_stats(out, name, "stats", scalar.stats, vector.stats)
+        return out
+
+    # Distributional: per-run corruption rates across seeds per mode.
+    rates: dict[str, list[float]] = {"scalar": [], "numpy": []}
+    for mode in rates:
+        for offset in range(STAT_SEEDS):
+            result = run_approx_refine(
+                keys, case.algorithm, memory,
+                seed=case.seed * STAT_SEEDS + offset, kernels=mode,
+            )
+            if result.final_keys != sorted(keys):
+                _first_mismatch(out, name, f"final_keys[{mode}]",
+                                sorted(keys), result.final_keys)
+                return out
+            rates[mode].append(
+                result.stats.corrupted_writes
+                / max(1, result.stats.approx_writes)
+            )
+    p_value = _ks_p_value(rates["scalar"], rates["numpy"])
+    if p_value < KS_ALPHA:
+        out.append(Divergence(
+            name, "corruption_rate_distribution", None,
+            f"KS p >= {KS_ALPHA}", f"p = {p_value:.2e}",
+            detail=(
+                f"scalar rates {rates['scalar']!r} vs"
+                f" numpy rates {rates['numpy']!r}"
+            ),
+        ))
+    return out
+
+
+def check_traced_untraced(case: OracleCase) -> list[Divergence]:
+    """A live tracer must never change an execution's observable output."""
+    out: list[Divergence] = []
+    name = "traced_untraced"
+    memory = memory_for(case.t)
+    keys = case.keys()
+
+    previous = set_tracer(NULL_TRACER)
+    try:
+        untraced = run_approx_refine(
+            keys, case.algorithm, memory, seed=case.seed
+        )
+        with tempfile.TemporaryDirectory(prefix="verify-trace-") as tmp:
+            tracer = Tracer(path=os.path.join(tmp, "trace.jsonl"))
+            set_tracer(tracer)
+            try:
+                traced = run_approx_refine(
+                    keys, case.algorithm, memory, seed=case.seed
+                )
+            finally:
+                tracer.close()
+                set_tracer(NULL_TRACER)
+    finally:
+        set_tracer(previous)
+
+    _first_mismatch(out, name, "final_keys", untraced.final_keys,
+                    traced.final_keys)
+    _first_mismatch(out, name, "final_ids", untraced.final_ids,
+                    traced.final_ids)
+    if untraced.rem_tilde != traced.rem_tilde:
+        out.append(Divergence(
+            name, "rem_tilde", None, untraced.rem_tilde, traced.rem_tilde
+        ))
+    _compare_stats(out, name, "stats", untraced.stats, traced.stats)
+    for stage in untraced.stage_stats:
+        if stage not in traced.stage_stats:
+            out.append(Divergence(
+                name, f"stage_stats.{stage}", None, "present", "missing"
+            ))
+            return out
+        _compare_stats(
+            out, name, f"stage_stats.{stage}",
+            untraced.stage_stats[stage], traced.stage_stats[stage],
+        )
+        if out:
+            return out
+    # Conservation: the per-stage deltas must tile the run totals.  Integer
+    # counters are compared exactly; ``approx_write_units`` is a float whose
+    # stage deltas come from snapshot subtraction, so re-summing them is
+    # only ULP-accurate (the tracer emits cum_start/cum chains precisely to
+    # avoid float re-summation) — compare within a tight relative tolerance.
+    for result, label in ((untraced, "untraced"), (traced, "traced")):
+        tiled = MemoryStats()
+        for stage_delta in result.stage_stats.values():
+            tiled.merge(stage_delta)
+        want = result.stats.as_dict()
+        got = tiled.as_dict()
+        for counter in want:
+            if counter == "approx_write_units":
+                agree = math.isclose(
+                    want[counter], got[counter],
+                    rel_tol=1e-9, abs_tol=1e-6,
+                )
+            else:
+                agree = want[counter] == got[counter]
+            if not agree:
+                out.append(Divergence(
+                    name, f"stage_tiling[{label}].{counter}", None,
+                    want[counter], got[counter],
+                ))
+                return out
+    return out
+
+
+def check_resumed_uninterrupted(case: OracleCase) -> list[Divergence]:
+    """Journal half the cells, resume, and require bit-identical digests."""
+    from repro.experiments.checkpoint import CellJournal
+
+    out: list[Divergence] = []
+    name = "resumed_uninterrupted"
+    memory = memory_for(case.t)
+    cells = [(case.algorithm, case.seed + j) for j in range(4)]
+
+    def compute(cell: tuple) -> dict:
+        algorithm, seed = cell
+        result = run_approx_refine(case.keys(), algorithm, memory, seed=seed)
+        return {
+            "keys": digest_keys(result.final_keys),
+            "ids": digest_keys(result.final_ids),
+            "rem": result.rem_tilde,
+            "stats": result.stats.as_dict(),
+        }
+
+    straight = [compute(cell) for cell in cells]
+
+    with tempfile.TemporaryDirectory(prefix="verify-resume-") as tmp:
+        path = os.path.join(tmp, "cells.jsonl")
+        # First attempt: complete half the cells, then "crash".
+        journal = CellJournal(path)
+        for index in range(len(cells) // 2):
+            journal.record(index, cells[index], straight[index])
+        journal.close()
+        # Resume: restore completed cells, compute only the remainder.
+        journal = CellJournal(path)
+        restored = journal.load(cells)
+        resumed: list[dict] = []
+        for index, cell in enumerate(cells):
+            if index in restored:
+                resumed.append(restored[index])
+            else:
+                value = compute(cell)
+                journal.record(index, cell, value)
+                resumed.append(value)
+        journal.close()
+
+    for index, (want, got) in enumerate(zip(straight, resumed)):
+        if want != got:
+            bad = next(k for k in want if want[k] != got.get(k))
+            out.append(Divergence(
+                name, f"cell[{index}].{bad}", index, want[bad], got.get(bad)
+            ))
+            return out
+    return out
+
+
+#: Registry of equivalence classes.  ``bit`` classes are deterministic;
+#: ``scalar_numpy_approx`` is distributional for non-block-writers.
+EQUIVALENCE_CLASSES: dict[str, Callable[[OracleCase], list[Divergence]]] = {
+    "scalar_numpy_precise": check_scalar_numpy_precise,
+    "scalar_numpy_approx": check_scalar_numpy_approx,
+    "traced_untraced": check_traced_untraced,
+    "resumed_uninterrupted": check_resumed_uninterrupted,
+}
+
+#: The deterministic subset (safe for tight CI gates and fuzz smoke).
+BIT_CLASSES = (
+    "scalar_numpy_precise",
+    "traced_untraced",
+    "resumed_uninterrupted",
+)
+
+
+def resolve_classes(spec: "str | list[str] | None") -> list[str]:
+    """Expand a class selection: ``None``/"all", "bit", or explicit names."""
+    if spec is None or spec == "all":
+        return list(EQUIVALENCE_CLASSES)
+    if spec == "bit":
+        return list(BIT_CLASSES)
+    names = spec.split(",") if isinstance(spec, str) else list(spec)
+    for class_name in names:
+        if class_name not in EQUIVALENCE_CLASSES:
+            raise ValueError(
+                f"unknown equivalence class {class_name!r}; available:"
+                f" {', '.join(EQUIVALENCE_CLASSES)}, or 'bit'/'all'"
+            )
+    return names
+
+
+def run_case(
+    case: OracleCase, classes: "str | list[str] | None" = None
+) -> CaseResult:
+    """Run ``case`` through the selected equivalence classes."""
+    if case.algorithm not in available_sorters():
+        raise ValueError(f"unknown sorter {case.algorithm!r}")
+    if case.workload not in GENERATORS and case.workload not in EXTRA_WORKLOADS:
+        raise ValueError(f"unknown workload {case.workload!r}")
+    result = CaseResult(case=case)
+    for class_name in resolve_classes(classes):
+        check = EQUIVALENCE_CLASSES[class_name]
+        result.classes_run.append(class_name)
+        result.divergences.extend(check(case))
+        if result.divergences:
+            break  # report the first divergent class; fuzzer shrinks next
+    return result
+
+
+# --------------------------------------------------------------------- #
+# KS test (scipy when present, exact small-sample fallback otherwise)
+# --------------------------------------------------------------------- #
+
+
+def _ks_p_value(a: list[float], b: list[float]) -> float:
+    try:
+        from scipy.stats import ks_2samp
+    except ImportError:  # pragma: no cover - scipy is in the image
+        return _ks_p_value_fallback(a, b)
+    return float(ks_2samp(a, b, method="auto").pvalue)
+
+
+def _ks_p_value_fallback(a: list[float], b: list[float]) -> float:
+    """Asymptotic two-sample KS p-value (Smirnov), dependency-free."""
+    xs = sorted(a)
+    ys = sorted(b)
+    d = 0.0
+    i = j = 0
+    while i < len(xs) and j < len(ys):
+        if xs[i] <= ys[j]:
+            i += 1
+        else:
+            j += 1
+        d = max(d, abs(i / len(xs) - j / len(ys)))
+    en = math.sqrt(len(xs) * len(ys) / (len(xs) + len(ys)))
+    lam = (en + 0.12 + 0.11 / en) * d
+    total = 0.0
+    for k in range(1, 101):
+        total += (-1) ** (k - 1) * math.exp(-2.0 * (lam * k) ** 2)
+    return max(0.0, min(1.0, 2.0 * total))

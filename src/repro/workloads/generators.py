@@ -118,6 +118,17 @@ def runs_keys(n: int, seed: int = 0, run_count: int = 8) -> list[int]:
     return keys
 
 
+def all_equal_keys(n: int, seed: int = 0) -> list[int]:
+    """Every key equal to one seed-derived value (degenerate duplicate case).
+
+    The all-equal array is the first edge case the :mod:`repro.verify`
+    fuzzer pins: comparison sorts do no useful work, radix sorts still pay
+    full passes, and any off-by-one in the refine merge's tie handling
+    surfaces immediately.
+    """
+    return [random.Random(seed).randrange(WORD_LIMIT)] * n
+
+
 GENERATORS: dict[str, GeneratorFn] = {
     "uniform": uniform_keys,
     "sorted": sorted_keys,
@@ -126,6 +137,7 @@ GENERATORS: dict[str, GeneratorFn] = {
     "zipf": zipf_keys,
     "few_distinct": few_distinct_keys,
     "runs": runs_keys,
+    "all_equal": all_equal_keys,
 }
 
 

@@ -8,11 +8,34 @@ model cache, so the whole suite pays for each configuration once.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.memory.config import MLCParams, SpintronicParams
 from repro.memory.factories import PCMMemoryFactory, SpintronicMemoryFactory
 from repro.workloads.generators import uniform_keys
+
+try:
+    from hypothesis import HealthCheck, settings as hypothesis_settings
+
+    # One pinned profile per context.  "default" keeps local runs honest
+    # but tolerant of session-fixture fit time (no deadline); "ci" is fully
+    # derandomized so a CI failure always reproduces with the same inputs.
+    hypothesis_settings.register_profile(
+        "default",
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    hypothesis_settings.register_profile(
+        "ci",
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    hypothesis_settings.load_profile("ci" if os.environ.get("CI") else "default")
+except ImportError:  # pragma: no cover - hypothesis is a dev dependency
+    pass
 
 #: Monte-Carlo samples per level for test-scope model fits.
 TEST_FIT_SAMPLES = 8_000

@@ -250,6 +250,7 @@ class TestCheckpointResumeCLI:
         assert marked == {"fig09", "ext_variance"}
 
 
+@pytest.mark.slow
 class TestInterruptedRunRegression:
     """The acceptance criterion: a run interrupted by a crash or hang and
     then resumed produces bit-identical tables to an uninterrupted run.

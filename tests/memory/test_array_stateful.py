@@ -18,6 +18,10 @@ from repro.memory.approx_array import PreciseArray
 from repro.memory.stats import MemoryStats
 from repro.memory.write_combining import WriteCombiningArray
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 SIZE = 16
 values = st.integers(min_value=0, max_value=2**32 - 1)
 indices = st.integers(min_value=0, max_value=SIZE - 1)

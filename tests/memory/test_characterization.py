@@ -9,6 +9,8 @@ from repro.memory.characterization import (
 )
 from repro.memory.config import MLCParams
 
+pytestmark = pytest.mark.statistical
+
 TRIALS = 40_000
 
 

@@ -15,6 +15,8 @@ from repro.metrics.sortedness import (
     runs,
 )
 
+pytestmark = pytest.mark.slow
+
 short_lists = st.lists(st.integers(min_value=0, max_value=50), max_size=40)
 small_lists = st.lists(st.integers(min_value=0, max_value=9), max_size=9)
 

@@ -21,6 +21,8 @@ from repro.metrics.sortedness import (
     longest_nondecreasing_subsequence_length,
 )
 
+pytestmark = pytest.mark.slow
+
 int_lists = st.lists(st.integers(min_value=-(2**31), max_value=2**31 - 1))
 small_lists = st.lists(st.integers(min_value=0, max_value=9), max_size=200)
 

@@ -172,6 +172,7 @@ class TestPipelines:
         assert runs[0].rem_tilde == runs[1].rem_tilde
         assert runs[0].stats.__dict__ == runs[1].stats.__dict__
 
+    @pytest.mark.statistical
     @pytest.mark.parametrize("name", ["quicksort", "mergesort"])
     def test_approx_refine_statistical(self, memory, name):
         """Quicksort's swap scatters and mergesort's level-grouped block

@@ -59,6 +59,7 @@ class TestMergesort:
     def test_paper_alpha_reference(self):
         assert Mergesort.paper_alpha(1024) == pytest.approx(1024 * 10)
 
+    @pytest.mark.statistical
     def test_vulnerable_to_corruption(self, pcm_sweet, pcm_precise):
         """The paper's key qualitative claim: mergesort's unsortedness on
         approximate memory dwarfs quicksort's at the same T.

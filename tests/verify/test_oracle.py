@@ -1,0 +1,182 @@
+"""Tests for the differential oracle: classes pass, plumbing behaves."""
+
+import pytest
+
+from repro.sorting.registry import APPROX_KERNEL_EXACT, available_sorters
+from repro.verify.oracle import (
+    BIT_CLASSES,
+    EQUIVALENCE_CLASSES,
+    EXTRA_WORKLOADS,
+    CaseResult,
+    Divergence,
+    OracleCase,
+    _ks_p_value,
+    _ks_p_value_fallback,
+    digest_keys,
+    resolve_classes,
+    run_case,
+)
+
+# Representative sorters: one comparison sort, one radix block-writer, one
+# hybrid — small n keeps the full bit-class battery cheap.
+REPRESENTATIVES = ["quicksort", "lsd4", "hmsd4"]
+
+
+class TestCasePlumbing:
+    def test_keys_from_registry_workload(self):
+        case = OracleCase("quicksort", workload="uniform", n=50, seed=3)
+        assert case.keys() == OracleCase("lsd4", n=50, seed=3).keys()
+        assert len(case.keys()) == 50
+
+    def test_keys_from_extra_workload(self):
+        case = OracleCase("quicksort", workload="max_word", n=5)
+        keys = case.keys()
+        assert len(set(keys)) == 1
+        assert keys[0] == 2**32 - 1
+        assert "max_word" in EXTRA_WORKLOADS
+
+    def test_describe_is_replayable(self):
+        text = OracleCase("lsd4", workload="zipf", n=77, t=0.07, seed=9).describe()
+        for fragment in ("lsd4", "zipf", "n=77", "T=0.07", "seed=9"):
+            assert fragment in text
+
+    def test_unknown_sorter_rejected(self):
+        with pytest.raises(ValueError, match="unknown sorter"):
+            run_case(OracleCase("bogosort"))
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            run_case(OracleCase("quicksort", workload="adversarial"))
+
+
+class TestResolveClasses:
+    def test_all_and_none(self):
+        assert resolve_classes(None) == list(EQUIVALENCE_CLASSES)
+        assert resolve_classes("all") == list(EQUIVALENCE_CLASSES)
+
+    def test_bit_subset(self):
+        bit = resolve_classes("bit")
+        assert bit == list(BIT_CLASSES)
+        assert "scalar_numpy_approx" not in bit
+
+    def test_comma_string_and_list(self):
+        spec = "traced_untraced,scalar_numpy_precise"
+        assert resolve_classes(spec) == [
+            "traced_untraced", "scalar_numpy_precise",
+        ]
+        assert resolve_classes(["traced_untraced"]) == ["traced_untraced"]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown equivalence class"):
+            resolve_classes("scalar_numpy_precise,quantum")
+
+
+class TestBitClasses:
+    @pytest.mark.parametrize("algorithm", REPRESENTATIVES)
+    def test_bit_classes_pass(self, algorithm):
+        result = run_case(
+            OracleCase(algorithm, n=120, seed=1), classes="bit"
+        )
+        assert result.passed, [d.describe() for d in result.divergences]
+        assert result.classes_run == list(BIT_CLASSES)
+
+    def test_edge_workloads_pass(self):
+        for workload in ("all_equal", "max_word"):
+            result = run_case(
+                OracleCase("lsd4", workload=workload, n=40), classes="bit"
+            )
+            assert result.passed, [d.describe() for d in result.divergences]
+
+    def test_tiny_n_pass(self):
+        for n in (0, 1, 2):
+            result = run_case(OracleCase("quicksort", n=n), classes="bit")
+            assert result.passed, [d.describe() for d in result.divergences]
+
+
+class TestApproxClass:
+    def test_block_writer_exact(self):
+        # lsd4 is in APPROX_KERNEL_EXACT: the approx class is bit-exact.
+        assert "lsd4" in APPROX_KERNEL_EXACT
+        result = run_case(
+            OracleCase("lsd4", n=150, t=0.055, seed=2),
+            classes=["scalar_numpy_approx"],
+        )
+        assert result.passed, [d.describe() for d in result.divergences]
+
+    @pytest.mark.statistical
+    def test_statistical_sorter_distributional(self):
+        assert "quicksort" not in APPROX_KERNEL_EXACT
+        result = run_case(
+            OracleCase("quicksort", n=300, t=0.07, seed=0),
+            classes=["scalar_numpy_approx"],
+        )
+        assert result.passed, [d.describe() for d in result.divergences]
+
+
+class TestReporting:
+    def test_divergence_describe(self):
+        d = Divergence(
+            "traced_untraced", "final_keys", 17, 4, 5, detail="first diff"
+        )
+        text = d.describe()
+        assert "traced_untraced" in text
+        assert "final_keys[17]" in text
+        assert "expected 4" in text and "got 5" in text
+        assert "first diff" in text
+        assert "[" not in Divergence("c", "rem_tilde", None, 1, 2).describe()
+
+    def test_case_result_json_roundtrip(self):
+        result = CaseResult(
+            case=OracleCase("lsd4", n=10),
+            classes_run=["scalar_numpy_precise"],
+            divergences=[Divergence("scalar_numpy_precise", "stats.x", None, 1, 2)],
+        )
+        payload = result.to_json()
+        assert payload["case"]["algorithm"] == "lsd4"
+        assert payload["classes_run"] == ["scalar_numpy_precise"]
+        assert payload["divergences"][0]["field"] == "stats.x"
+        assert not result.passed
+
+    def test_first_divergent_class_stops_the_run(self, monkeypatch):
+        calls = []
+
+        def fail(case):
+            calls.append("fail")
+            return [Divergence("injected", "x", None, 0, 1)]
+
+        def never(case):  # pragma: no cover - must not run
+            calls.append("never")
+            return []
+
+        monkeypatch.setitem(EQUIVALENCE_CLASSES, "injected", fail)
+        monkeypatch.setitem(EQUIVALENCE_CLASSES, "after", never)
+        result = run_case(
+            OracleCase("quicksort", n=10), classes=["injected", "after"]
+        )
+        assert calls == ["fail"]
+        assert result.classes_run == ["injected"]
+        assert not result.passed
+
+
+class TestHelpers:
+    def test_digest_deterministic_and_sensitive(self):
+        keys = list(range(100))
+        assert digest_keys(keys) == digest_keys(list(range(100)))
+        assert digest_keys(keys) != digest_keys(keys[::-1])
+        assert len(digest_keys([])) == 16
+
+    def test_ks_fallback_agrees_with_scipy(self):
+        a = [0.001, 0.002, 0.0015, 0.0012, 0.0025, 0.0018]
+        b = [0.0011, 0.0019, 0.0016, 0.0013, 0.0024, 0.0017]
+        same = _ks_p_value_fallback(a, b)
+        assert same > 0.5  # clearly the same distribution
+        far = _ks_p_value_fallback([0.0] * 8, [1.0] * 8)
+        assert far < 0.05
+        # scipy (present in the image) and the fallback must agree on the
+        # verdict side of KS_ALPHA for both shapes.
+        assert _ks_p_value(a, b) > 0.5
+        assert _ks_p_value([0.0] * 8, [1.0] * 8) < 0.05
+
+    def test_all_sorters_known_to_registry(self):
+        # APPROX_KERNEL_EXACT must stay a subset of the live registry.
+        assert APPROX_KERNEL_EXACT <= frozenset(available_sorters())

@@ -1,0 +1,117 @@
+"""Whole-subsystem runs under ``REPRO_SANITIZE=1``.
+
+The sorting pipelines are sanitizer-checked in tests/verify/test_sanitizer;
+these tests push the two consumers that build *on top* of approx-refine —
+the relational operators and the external merge sort — through sanitized
+runs, asserting (a) the sanitizer engages, and (b) results and accounting
+stay bit-identical to the unsanitized run.
+"""
+
+import random
+
+import pytest
+
+from repro.db.operators import group_by_aggregate, order_by, sort_merge_join
+from repro.db.table import Relation
+from repro.external.external_sort import external_merge_sort
+from repro.external.storage import BlockDevice
+from repro.verify import SANITIZE_ENV, checks_performed
+from repro.workloads.generators import uniform_keys
+
+
+def orders_relation(n, seed=0, key_space=2**20):
+    rng = random.Random(seed)
+    return Relation(
+        {
+            "amount": [rng.randrange(key_space) for _ in range(n)],
+            "customer": [rng.randrange(16) for _ in range(n)],
+            "note": [f"row{i}" for i in range(n)],
+        }
+    )
+
+
+def both_ways(monkeypatch, run):
+    """Run ``run()`` without, then with, the sanitizer; assert it engaged."""
+    monkeypatch.delenv(SANITIZE_ENV, raising=False)
+    plain = run()
+    monkeypatch.setenv(SANITIZE_ENV, "1")
+    before = checks_performed()
+    shadowed = run()
+    assert checks_performed() > before
+    return plain, shadowed
+
+
+class TestDbOperators:
+    def test_order_by_hybrid(self, pcm_sweet, monkeypatch):
+        rel = orders_relation(2_000, seed=1)
+        plain, shadowed = both_ways(
+            monkeypatch,
+            lambda: order_by(rel, "amount", memory=pcm_sweet, seed=2),
+        )
+        assert plain.plan == "approx-refine"  # the sanitizer saw approx memory
+        assert shadowed.plan == plain.plan
+        assert shadowed.relation.column("amount") == sorted(rel.column("amount"))
+        for column in rel.column_names:
+            assert shadowed.relation.column(column) == plain.relation.column(
+                column
+            )
+        assert shadowed.stats.as_dict() == plain.stats.as_dict()
+
+    def test_group_by_aggregate(self, pcm_sweet, monkeypatch):
+        rel = orders_relation(2_000, seed=3, key_space=64)
+        plain, shadowed = both_ways(
+            monkeypatch,
+            lambda: group_by_aggregate(
+                rel, "customer", {"total": ("sum", "amount")},
+                memory=pcm_sweet, seed=4,
+            ),
+        )
+        assert shadowed.relation.column("customer") == plain.relation.column(
+            "customer"
+        )
+        assert shadowed.relation.column("total") == plain.relation.column(
+            "total"
+        )
+        assert shadowed.stats.as_dict() == plain.stats.as_dict()
+
+    def test_sort_merge_join(self, pcm_sweet, monkeypatch):
+        left = orders_relation(1_500, seed=5, key_space=32)
+        right = orders_relation(1_500, seed=6, key_space=32)
+        plain, shadowed = both_ways(
+            monkeypatch,
+            lambda: sort_merge_join(
+                left, right, on="customer", memory=pcm_sweet, seed=7
+            ),
+        )
+        assert len(shadowed.relation) == len(plain.relation)
+        for column in shadowed.relation.column_names:
+            assert shadowed.relation.column(column) == plain.relation.column(
+                column
+            )
+        assert shadowed.stats.as_dict() == plain.stats.as_dict()
+
+
+class TestExternalSort:
+    @pytest.mark.parametrize("memory_fixture", [None, "pcm_sweet"])
+    def test_multi_run_sort(self, request, monkeypatch, memory_fixture):
+        memory = (
+            request.getfixturevalue(memory_fixture) if memory_fixture else None
+        )
+        keys = uniform_keys(1_000, seed=8)
+
+        def run():
+            device = BlockDevice(records_per_page=32)
+            source = device.write_records(
+                "input", list(zip(keys, range(len(keys))))
+            )
+            return external_merge_sort(
+                source, device, memory_capacity=128, fan_in=4, memory=memory,
+                seed=9,
+            )
+
+        plain, shadowed = both_ways(monkeypatch, run)
+        assert shadowed.output.peek_all() == plain.output.peek_all()
+        assert [k for k, _ in shadowed.output.peek_all()] == sorted(keys)
+        assert shadowed.runs_formed == plain.runs_formed
+        assert shadowed.merge_passes == plain.merge_passes
+        assert shadowed.memory_stats.as_dict() == plain.memory_stats.as_dict()

@@ -14,7 +14,10 @@ What is run, and how:
 * The scratch environment pins ``REPRO_SCALE=smoke`` and points
   ``REPRO_RESULTS_DIR`` at a copy of the committed ``benchmarks/results``
   records, so ``--save`` examples never clobber the repository and
-  plotting examples find their inputs.
+  plotting examples find their inputs.  It also sets ``REPRO_SANITIZE=1``:
+  every documented pipeline run doubles as a shadow-sanitizer pass (see
+  docs/verifying.md), so an accounting or bounds regression fails the docs
+  check even before the dedicated verify lane runs.
 * Rewrites keep runtimes in seconds: explicit ``default``/``large``
   scales become ``smoke``, ``--all`` becomes a two-experiment selection,
   and the quickstart's key count is shrunk.  Inherently slow or
@@ -113,8 +116,19 @@ def rewrite_shell(command: str) -> str | None:
     # A full sweep is minutes even at smoke scale; two experiments prove
     # the flags work.
     command = re.sub(r"--all\b", "--exp fig02 --exp table3", command)
+    # Documented fuzz budgets are real-session sized; seconds prove the CLI.
+    command = re.sub(r"--budget \S+", "--budget 3", command)
+    # Oracle examples document CI-gate sizes; tiny inputs prove the paths.
+    if "repro.verify" in command:
+        command = re.sub(r"--n \d+", "--n 60", command)
     # Fault examples write trip counts; keep them inside the scratch dir.
     command = command.replace("/tmp/faults", "faults")
+    # Examples live in the repo, not the scratch dir; shrink their input.
+    command = re.sub(
+        r"python examples/(\w+\.py)(?! \d)",
+        lambda m: f"python {REPO_ROOT / 'examples' / m.group(1)} 2000",
+        command,
+    )
     return command
 
 
@@ -145,6 +159,7 @@ def check_file(path: Path, verbose: bool) -> list[str]:
             REPRO_SCALE="smoke",
             REPRO_RESULTS_DIR=str(results_dir),
             REPRO_RETRY_BACKOFF_S="0.01",
+            REPRO_SANITIZE="1",
         )
 
         def run(argv: list[str] | str, shell: bool, label: str) -> None:
