@@ -33,7 +33,7 @@ from pathlib import Path
 
 from repro.errors import ConfigError
 
-SCALES = ("smoke", "default", "large")
+SCALES = ("smoke", "default", "large", "paper")
 
 #: Environment variable: default seconds between heartbeat lines.
 HEARTBEAT_ENV = "REPRO_HEARTBEAT_S"
@@ -60,10 +60,28 @@ def resolve_scale(scale: str | None = None) -> str:
     return value
 
 
-def scaled(scale: str | None, smoke: int, default: int, large: int) -> int:
-    """Select a size by tier."""
+def scaled(
+    scale: str | None,
+    smoke: int,
+    default: int,
+    large: int,
+    paper: "int | None" = None,
+) -> int:
+    """Select a size by tier.
+
+    ``paper`` is the size at which the source paper reports the figure
+    (e.g. n = 16M keys for fig09–fig11).  Experiments that have not been
+    given a paper-tier size yet fall back to ``large`` — the ``paper``
+    tier must never silently shrink an experiment below ``large``.
+    """
     tier = resolve_scale(scale)
-    return {"smoke": smoke, "default": default, "large": large}[tier]
+    sizes = {
+        "smoke": smoke,
+        "default": default,
+        "large": large,
+        "paper": paper if paper is not None else large,
+    }
+    return sizes[tier]
 
 
 @dataclass

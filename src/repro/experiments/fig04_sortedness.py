@@ -31,7 +31,8 @@ ALGORITHMS = ("lsd6", "msd6", "quicksort", "mergesort")
 
 
 def _fit_samples(tier: str) -> int:
-    return {"smoke": 20_000, "default": DEFAULT_FIT_SAMPLES, "large": DEFAULT_FIT_SAMPLES}[tier]
+    # Every tier above smoke (large, paper) uses the full fit.
+    return {"smoke": 20_000}.get(tier, DEFAULT_FIT_SAMPLES)
 
 
 def precise_write_units(keys: list[int], algorithm: str) -> float:

@@ -57,7 +57,9 @@ def run(
     cell_journal=None,
 ) -> ExperimentTable:
     tier = resolve_scale(scale)
-    n = scaled(tier, smoke=1_200, default=16_000, large=60_000)
+    n = scaled(
+        tier, smoke=1_200, default=16_000, large=60_000, paper=16_000_000
+    )
     ts = t_values if t_values is not None else t_sweep()
     keys = uniform_keys(n, seed=seed)
     fit = _fit_samples(tier)

@@ -29,6 +29,7 @@ SIZES = {
     "smoke": (400, 1_600),
     "default": (1_600, 4_000, 10_000, 25_000),
     "large": (1_600, 16_000, 60_000, 160_000),
+    "paper": (1_600, 16_000, 160_000, 1_600_000, 16_000_000),
 }
 
 

@@ -83,6 +83,7 @@ from repro.errors import CheckpointCorruptError, ConfigError
 from repro.kernels import KERNEL_MODES, KERNELS_ENV, resolve_kernels
 from repro.obs import TRACE_DIR_ENV, close_tracer, get_tracer
 from repro.obs.io import merge_traces
+from repro.sorting.registry import SHARDS_ENV
 from repro.verify import SANITIZE_ENV
 
 from .checkpoint import RunCheckpoint
@@ -546,6 +547,38 @@ def _failed_table(failures: dict[str, tuple[int, str]]) -> ExperimentTable:
     return table
 
 
+def _serial_baseline(path: Path, record: dict) -> "dict | None":
+    """The latest comparable serial record already in ``path``, if any.
+
+    Comparable means the same experiment set, scale, seed and kernel mode,
+    run without any parallelism (``jobs`` 1 and no sharding) — the
+    denominator the speedup/scaling-efficiency fields are defined against.
+    """
+    if not path.exists():
+        return None
+    try:
+        records = json.loads(path.read_text())
+    except (json.JSONDecodeError, OSError):
+        return None
+    if not isinstance(records, list):
+        records = [records]
+    for candidate in reversed(records):
+        if not isinstance(candidate, dict):
+            continue
+        if (
+            sorted(candidate.get("experiments", {})) ==
+            sorted(record.get("experiments", {}))
+            and candidate.get("scale") == record.get("scale")
+            and candidate.get("seed") == record.get("seed")
+            and candidate.get("kernels") == record.get("kernels")
+            and candidate.get("jobs", 1) == 1
+            and (candidate.get("shards") or 1) == 1
+            and candidate.get("total_s")
+        ):
+            return candidate
+    return None
+
+
 def _append_bench_record(path: Path, record: dict) -> None:
     """Append ``record`` to the JSON array in ``path`` (created if absent).
 
@@ -597,6 +630,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes: fans independent experiments, or the"
         " cells of a single cell-parallel experiment (output is"
         " bit-identical for any N)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="shard every sort N ways inside the cell (exports"
+        f" {SHARDS_ENV}; intra-sort parallelism over shared memory —"
+        " the right granularity when a single experiment dominates;"
+        " see docs/scaling.md)",
     )
     parser.add_argument(
         "--checkpoint", nargs="?", const="", default=None, metavar="RUN_ID",
@@ -694,6 +734,12 @@ def _main(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     if args.sanitize:
         # Same export pattern; the pipelines check it at allocation sites.
         os.environ[SANITIZE_ENV] = "1"
+    if args.shards is not None:
+        if args.shards < 1:
+            parser.error("--shards must be >= 1")
+        # Same export pattern again: make_sorter() wraps every plain sorter
+        # in a ShardedSorter, so experiments shard without any plumbing.
+        os.environ[SHARDS_ENV] = str(args.shards)
 
     if args.list:
         width = max(len(name) for name in EXPERIMENTS)
@@ -792,6 +838,24 @@ def _main(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
                 file=sys.stderr,
             )
 
+        if (
+            args.jobs > 1
+            and len(names) == 1
+            and names[0] in CELL_PARALLEL
+            and args.shards is None
+        ):
+            # Measured in BENCH_runner.json: experiment-level fan-out of a
+            # single cell-parallel experiment buys ~nothing (fig09 even
+            # regresses) — the per-cell work is one big sort, which --jobs
+            # cannot split.
+            print(
+                f"[hint] --jobs {args.jobs} fans cells of {names[0]}, which"
+                " measured ~no speedup; intra-sort sharding is the right"
+                " granularity here — try --shards"
+                f" {args.jobs} (see docs/scaling.md)",
+                file=sys.stderr,
+            )
+
         pending = [name for name in names if name not in restored]
         heartbeat = Heartbeat(
             "experiments", len(names), interval=args.heartbeat
@@ -877,6 +941,14 @@ def _main(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     total = time.perf_counter() - wall_start
 
     if args.bench_json is not None:
+        # `cpus` is the machine (os.cpu_count() — what the hardware offers);
+        # `workers_effective` is what this run actually used: --jobs fans
+        # cells when a single cell-parallel experiment is selected, else at
+        # most one worker per experiment.
+        if len(names) == 1 and names[0] in CELL_PARALLEL:
+            workers_effective = args.jobs
+        else:
+            workers_effective = min(args.jobs, max(1, len(names)))
         record = {
             "timestamp": datetime.now(timezone.utc).isoformat(
                 timespec="seconds"
@@ -885,15 +957,29 @@ def _main(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
             "seed": seed,
             "jobs": args.jobs,
             "cpus": os.cpu_count(),
+            "workers_effective": workers_effective,
+            "shards": args.shards,
             "kernels": resolve_kernels(args.kernels),
             "experiments": {name: round(t, 3) for name, t in timings.items()},
             "total_s": round(total, 3),
         }
+        path = Path(args.bench_json)
+        baseline = _serial_baseline(path, record)
+        if baseline is not None and total > 0:
+            speedup = baseline["total_s"] / total
+            parallelism = (
+                args.shards
+                if args.shards is not None and args.shards > 1
+                else workers_effective
+            )
+            record["speedup_vs_serial"] = round(speedup, 3)
+            record["scaling_efficiency"] = round(
+                speedup / max(1, parallelism), 3
+            )
         if args.resume is not None:
             record["resumed"] = args.resume
         if failures:
             record["failed"] = sorted(failures)
-        path = Path(args.bench_json)
         _append_bench_record(path, record)
         print(f"bench record appended to {path}")
 

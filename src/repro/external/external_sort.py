@@ -14,6 +14,17 @@ paper cites for this setting):
 Disk I/O is identical between the hybrid and precise plans (same page
 schedule); the hybrid plan saves memory writes in phase 1.  Merge-phase
 buffer traffic also flows through precise memory and is accounted.
+
+Two optional accelerations (both preserve the accounted totals exactly):
+
+* ``run_jobs >= 2`` forms runs in parallel on the
+  :mod:`repro.parallel` worker pool — each load is sorted by a *fresh*
+  sorter rebuilt in the worker, so the result is deterministic for any
+  job count >= 2 (it can differ from ``run_jobs=1`` for sorters with
+  internal RNG state, which the serial path threads across loads).
+* When the kernel mode resolves to ``numpy``, the k-way merge is
+  vectorized: one stable argsort over the concatenated runs reproduces
+  the heap walk's ``(key, run order, position)`` tiebreak bit-for-bit.
 """
 
 from __future__ import annotations
@@ -22,13 +33,20 @@ import heapq
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from repro.core.approx_refine import run_approx_refine, run_precise_baseline
+from repro.kernels import resolve_kernels
 from repro.memory.factories import ApproxMemoryFactory
 from repro.memory.stats import MemoryStats
+from repro.parallel.pool import fork_available, get_pool
 from repro.sorting.base import BaseSorter
-from repro.sorting.registry import make_sorter
+from repro.sorting.registry import _implicit_kwargs, make_base_sorter, make_sorter
 
-from .storage import BlockDevice, IOStats, Record, StoredFile
+from .storage import BlockDevice, IOStats, MappedFile, Record, StoredFile
+
+#: Module path the pool workers import run-formation tasks from.
+_MODULE = "repro.external.external_sort"
 
 
 @dataclass
@@ -43,6 +61,77 @@ class ExternalSortResult:
     plan: str  # "approx-refine" or "precise"
 
 
+def _sorter_spec(algorithm: BaseSorter) -> tuple:
+    """``(name, kwargs)`` from which a worker rebuilds this sorter.
+
+    The kernel mode is resolved *now* so a worker never re-reads an
+    environment frozen at fork time, and a :class:`ShardedSorter` spec pins
+    ``workers=0`` — a pool worker must run its shards in-process rather
+    than spawn a nested pool (bit-identical either way, by construction).
+    """
+    if hasattr(algorithm, "base"):
+        kwargs = dict(_implicit_kwargs(algorithm.base))
+        kwargs.update(
+            shards=algorithm.shards,
+            workers=0,
+            partition=algorithm.partition,
+            wc_capacity=algorithm.wc_capacity,
+            min_n=algorithm.min_n,
+        )
+        kwargs["kernels"] = resolve_kernels(algorithm.base.kernels)
+        return (f"sharded:{algorithm.base.name}", kwargs)
+    kwargs = dict(_implicit_kwargs(algorithm))
+    kwargs["kernels"] = resolve_kernels(algorithm.kernels)
+    return (algorithm.name, kwargs)
+
+
+def _rebuild_sorter(spec: tuple) -> BaseSorter:
+    name, kwargs = spec
+    if name.startswith("sharded:"):
+        return make_sorter(name, **kwargs)
+    # make_base_sorter, not make_sorter: a worker must not re-apply the
+    # inherited REPRO_SHARDS wrap the parent already resolved.
+    return make_base_sorter(name, **kwargs)
+
+
+def _sort_load(
+    keys: list[int],
+    rids: list[int],
+    sorter: BaseSorter,
+    memory: Optional[ApproxMemoryFactory],
+    seed: int,
+) -> tuple:
+    """Sort one in-memory load; returns ``(ordered_records, stats)``."""
+    if memory is not None:
+        result = run_approx_refine(keys, sorter, memory, seed=seed)
+        return (
+            [
+                (result.final_keys[i], rids[result.final_ids[i]])
+                for i in range(len(keys))
+            ],
+            result.stats,
+        )
+    baseline = run_precise_baseline(keys, sorter)
+    return (
+        [
+            (baseline.final_keys[i], rids[baseline.final_ids[i]])
+            for i in range(len(keys))
+        ],
+        baseline.stats,
+    )
+
+
+def _form_run_task(payload: dict) -> tuple:
+    """Pool task: sort one load with a freshly rebuilt sorter."""
+    return _sort_load(
+        payload["keys"],
+        payload["rids"],
+        _rebuild_sorter(payload["sorter"]),
+        payload["memory"],
+        payload["seed"],
+    )
+
+
 def _form_runs(
     source: StoredFile,
     device: BlockDevice,
@@ -51,43 +140,171 @@ def _form_runs(
     memory: Optional[ApproxMemoryFactory],
     memory_stats: MemoryStats,
     seed: int,
+    run_jobs: int = 1,
 ) -> list[StoredFile]:
-    """Phase 1: sorted runs of up to ``memory_capacity`` records each."""
-    runs: list[StoredFile] = []
+    """Phase 1: sorted runs of up to ``memory_capacity`` records each.
+
+    ``run_jobs >= 2`` sorts the loads on the shared worker pool; stats are
+    merged and run files written in load order regardless of completion
+    order, so any parallel job count produces identical output.  The
+    serial path keeps its historical behaviour of reusing the one sorter
+    instance across loads.
+    """
+    loads: list[list[Record]] = []
     load: list[Record] = []
-    sequence = 0
-
-    def flush(load: list[Record]) -> None:
-        nonlocal sequence
-        if not load:
-            return
-        keys = [key for key, _ in load]
-        rids = [rid for _, rid in load]
-        if memory is not None:
-            result = run_approx_refine(keys, sorter, memory, seed=seed + sequence)
-            memory_stats.merge(result.stats)
-            ordered = [
-                (result.final_keys[i], rids[result.final_ids[i]])
-                for i in range(len(load))
-            ]
-        else:
-            baseline = run_precise_baseline(keys, sorter)
-            memory_stats.merge(baseline.stats)
-            ordered = [
-                (baseline.final_keys[i], rids[baseline.final_ids[i]])
-                for i in range(len(load))
-            ]
-        run = device.write_records(f"{source.name}.run{sequence}", ordered)
-        runs.append(run)
-        sequence += 1
-
     for record in source.scan():
         load.append(record)
         if len(load) == memory_capacity:
-            flush(load)
+            loads.append(load)
             load = []
-    flush(load)
+    if load:
+        loads.append(load)
+
+    if run_jobs >= 2 and len(loads) > 1:
+        spec = _sorter_spec(sorter)
+        payloads = [
+            {
+                "keys": [key for key, _ in chunk],
+                "rids": [rid for _, rid in chunk],
+                "memory": memory,
+                "seed": seed + sequence,
+                "sorter": spec,
+            }
+            for sequence, chunk in enumerate(loads)
+        ]
+        if fork_available():
+            pool = get_pool(min(run_jobs, len(payloads)))
+            results = pool.run(
+                [(_MODULE, "_form_run_task", payload) for payload in payloads]
+            )
+        else:
+            # No fork on this platform: same fresh-sorter-per-load semantics,
+            # executed in-process, so results match the pooled path exactly.
+            results = [_form_run_task(payload) for payload in payloads]
+    else:
+        results = [
+            _sort_load(
+                [key for key, _ in chunk],
+                [rid for _, rid in chunk],
+                sorter,
+                memory,
+                seed + sequence,
+            )
+            for sequence, chunk in enumerate(loads)
+        ]
+
+    runs: list[StoredFile] = []
+    for sequence, (ordered, stats) in enumerate(results):
+        memory_stats.merge(stats)
+        runs.append(device.write_records(f"{source.name}.run{sequence}", ordered))
     return runs
+
+
+def _read_page_np(run: StoredFile, index: int) -> np.ndarray:
+    """One page (accounted) as a ``uint32 (records, 2)`` array."""
+    if isinstance(run, MappedFile):
+        return run.read_page_np(index)
+    return np.asarray(run.read_page(index), dtype=np.uint32).reshape(-1, 2)
+
+
+def _append_page(output: StoredFile, chunk: np.ndarray) -> None:
+    if isinstance(output, MappedFile):
+        output.append_page(chunk)
+    else:
+        output.append_page([tuple(pair) for pair in chunk.tolist()])
+
+
+def _heap_walk(
+    run_pages: list,
+    device: BlockDevice,
+    output: StoredFile,
+    memory_stats: MemoryStats,
+) -> None:
+    """Heap merge over pre-read pages (fallback for unsorted inputs).
+
+    The caller already accounted every page read and input-buffer write;
+    this walk accounts the per-record output writes only.
+    """
+    pages = [[page.tolist() for page in run] for run in run_pages]
+    buffer: list[Record] = []
+    heap: list[tuple[int, int, int, int]] = []
+    current = [run[0] if run else [] for run in pages]
+    for run_index, page in enumerate(current):
+        if page:
+            heapq.heappush(heap, (page[0][0], run_index, 0, 0))
+    positions = [0] * len(pages)
+    while heap:
+        key, run_index, page_index, slot = heapq.heappop(heap)
+        rid = current[run_index][slot][1]
+        buffer.append((key, rid))
+        memory_stats.record_precise_write(2)
+        if len(buffer) == device.records_per_page:
+            output.append_page(buffer)
+            buffer = []
+        next_slot = slot + 1
+        if next_slot < len(current[run_index]):
+            heapq.heappush(
+                heap,
+                (current[run_index][next_slot][0], run_index, page_index, next_slot),
+            )
+        else:
+            next_page = positions[run_index] + 1
+            if next_page < len(pages[run_index]):
+                positions[run_index] = next_page
+                current[run_index] = pages[run_index][next_page]
+                heapq.heappush(
+                    heap, (current[run_index][0][0], run_index, next_page, 0)
+                )
+    if buffer:
+        output.append_page(buffer)
+
+
+def _merge_group_numpy(
+    runs: list[StoredFile],
+    device: BlockDevice,
+    name: str,
+    memory_stats: MemoryStats,
+) -> StoredFile:
+    """Vectorized k-way merge, bit-identical to the heap walk.
+
+    The heap pops records ordered by ``(key, run index, position)``; for
+    *sorted* runs, concatenating the runs in run order and stable-argsorting
+    by key produces the exact same sequence.  Every accounting event of the
+    heap path is preserved in total: one accounted read plus ``2 * records``
+    input-buffer precise writes per page, and 2 output-buffer precise writes
+    per merged record.  Unsorted inputs (only hand-built test files — real
+    runs leave phase 1 sorted) fall back to the heap walk over the
+    already-read pages.
+    """
+    run_pages: list[list[np.ndarray]] = []
+    for run in runs:
+        pages = []
+        for index in range(run.num_pages):
+            page = _read_page_np(run, index)
+            memory_stats.record_precise_write(2 * len(page))
+            pages.append(page)
+        run_pages.append(pages)
+    total = sum(len(page) for pages in run_pages for page in pages)
+    output = device.create(name, capacity_records=total)
+    if total == 0:
+        return output
+    empty = np.empty((0, 2), dtype=np.uint32)
+    segments = [
+        np.concatenate(pages) if pages else empty for pages in run_pages
+    ]
+    if not all(
+        len(segment) < 2 or bool(np.all(np.diff(segment[:, 0].astype(np.int64)) >= 0))
+        for segment in segments
+    ):
+        _heap_walk(run_pages, device, output, memory_stats)
+        return output
+    records = np.concatenate(segments)
+    merged = records[np.argsort(records[:, 0], kind="stable")]
+    memory_stats.record_precise_write(2 * total)
+    per_page = device.records_per_page
+    for start in range(0, total, per_page):
+        _append_page(output, merged[start : start + per_page])
+    return output
 
 
 def _merge_group(
@@ -97,6 +314,8 @@ def _merge_group(
     memory_stats: MemoryStats,
 ) -> StoredFile:
     """K-way merge of sorted runs into one file (page-buffered)."""
+    if resolve_kernels(None) == "numpy":
+        return _merge_group_numpy(runs, device, name, memory_stats)
     output = device.create(name)
     buffer: list[Record] = []
     heap: list[tuple[int, int, int, int]] = []  # (key, run_idx, page, slot)
@@ -146,6 +365,7 @@ def external_merge_sort(
     sorter: "BaseSorter | str" = "lsd3",
     memory: Optional[ApproxMemoryFactory] = None,
     seed: int = 0,
+    run_jobs: int = 1,
 ) -> ExternalSortResult:
     """Sort ``source`` into a new file on ``device``.
 
@@ -158,18 +378,25 @@ def external_merge_sort(
     memory:
         Approximate-memory factory for the run-formation sorts; ``None``
         sorts precisely.
+    run_jobs:
+        Worker processes for phase-1 run formation.  ``1`` (default) keeps
+        the historical serial behaviour; ``>= 2`` sorts loads on the
+        shared :mod:`repro.parallel` pool, each with a fresh sorter.
     """
     if memory_capacity <= 0:
         raise ValueError("memory_capacity must be positive")
     if fan_in < 2:
         raise ValueError("fan_in must be at least 2")
+    if run_jobs < 1:
+        raise ValueError("run_jobs must be at least 1")
 
     algorithm = make_sorter(sorter) if isinstance(sorter, str) else sorter
     memory_stats = MemoryStats()
     io_before = device.stats.page_reads + device.stats.page_writes
 
     runs = _form_runs(
-        source, device, memory_capacity, algorithm, memory, memory_stats, seed
+        source, device, memory_capacity, algorithm, memory, memory_stats, seed,
+        run_jobs=run_jobs,
     )
     runs_formed = len(runs)
 

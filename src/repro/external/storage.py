@@ -9,8 +9,13 @@ traffic differs.
 
 from __future__ import annotations
 
+import os
+import re
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterable, Iterator
+
+import numpy as np
 
 #: Records per 4KB page: 8 bytes per <key, record-ID> pair.
 DEFAULT_RECORDS_PER_PAGE = 512
@@ -85,21 +90,140 @@ class StoredFile:
         return [record for page in self._pages for record in page]
 
 
-class BlockDevice:
-    """A collection of named files with shared I/O accounting."""
+class MappedFile(StoredFile):
+    """A stored file whose pages live in a memory-mapped ``.npy`` on disk.
+
+    Same page-accounted interface as :class:`StoredFile`, but records are
+    held as a ``uint32 (capacity, 2)`` array created with
+    ``np.lib.format.open_memmap`` under the device's spill directory — so a
+    multi-GB run file costs pages of address space, not resident RAM, and
+    the array-shaped page views feed the vectorized merge without a
+    tuple-list round trip.  Capacity grows by doubling (remap + copy) when
+    appends outrun the initial estimate.
+    """
+
+    #: Initial capacity when the creator gave no estimate (records).
+    DEFAULT_CAPACITY = 8_192
 
     def __init__(
-        self, records_per_page: int = DEFAULT_RECORDS_PER_PAGE
+        self,
+        device: "BlockDevice",
+        name: str,
+        path: Path,
+        capacity_records: "int | None" = None,
+    ) -> None:
+        super().__init__(device, name)
+        self.path = path
+        capacity = max(1, capacity_records or self.DEFAULT_CAPACITY)
+        self._map = np.lib.format.open_memmap(
+            path, mode="w+", dtype=np.uint32, shape=(capacity, 2)
+        )
+        self._page_offsets: list[int] = [0]
+        self._used = 0
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._page_offsets) - 1
+
+    @property
+    def num_records(self) -> int:
+        return self._used
+
+    def _grow(self, needed: int) -> None:
+        capacity = self._map.shape[0]
+        while capacity < needed:
+            capacity *= 2
+        grown_path = self.path.with_suffix(".grow.npy")
+        grown = np.lib.format.open_memmap(
+            grown_path, mode="w+", dtype=np.uint32, shape=(capacity, 2)
+        )
+        grown[: self._used] = self._map[: self._used]
+        grown.flush()
+        del self._map
+        os.replace(grown_path, self.path)
+        self._map = grown
+
+    def append_page(self, records: "list[Record] | np.ndarray") -> None:
+        """Write one page (accounted)."""
+        page = np.asarray(records, dtype=np.uint32)
+        if page.size == 0:
+            return
+        page = page.reshape(-1, 2)
+        if len(page) > self.device.records_per_page:
+            raise ValueError(
+                f"page of {len(page)} records exceeds capacity"
+                f" {self.device.records_per_page}"
+            )
+        if self._used + len(page) > self._map.shape[0]:
+            self._grow(self._used + len(page))
+        self.device.stats.page_writes += 1
+        self._map[self._used : self._used + len(page)] = page
+        self._used += len(page)
+        self._page_offsets.append(self._used)
+
+    def read_page_np(self, index: int) -> np.ndarray:
+        """Read one page (accounted) as a ``uint32 (records, 2)`` copy."""
+        self.device.stats.page_reads += 1
+        lo = self._page_offsets[index]
+        hi = self._page_offsets[index + 1]
+        return self._map[lo:hi].copy()
+
+    def read_page(self, index: int) -> list[Record]:
+        return [tuple(pair) for pair in self.read_page_np(index).tolist()]
+
+    def peek_all(self) -> list[Record]:
+        return [tuple(pair) for pair in self._map[: self._used].tolist()]
+
+    def discard_backing(self) -> None:
+        """Drop the mapping and remove the backing file from disk."""
+        del self._map
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+
+def _spill_filename(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]", "_", name) + ".npy"
+
+
+class BlockDevice:
+    """A collection of named files with shared I/O accounting.
+
+    With ``spill_dir`` set, created files are :class:`MappedFile`\\ s backed
+    by memory-mapped ``.npy`` files under that directory (created on
+    demand); without it, files hold their pages in RAM as before.
+    """
+
+    def __init__(
+        self,
+        records_per_page: int = DEFAULT_RECORDS_PER_PAGE,
+        spill_dir: "str | Path | None" = None,
     ) -> None:
         if records_per_page <= 0:
             raise ValueError("records_per_page must be positive")
         self.records_per_page = records_per_page
+        self.spill_dir = Path(spill_dir) if spill_dir is not None else None
         self.stats = IOStats()
         self._files: dict[str, StoredFile] = {}
 
-    def create(self, name: str) -> StoredFile:
-        """Create (or truncate) a file."""
-        stored = StoredFile(self, name)
+    def create(
+        self, name: str, capacity_records: "int | None" = None
+    ) -> StoredFile:
+        """Create (or truncate) a file.
+
+        ``capacity_records`` pre-sizes a mapped file's backing array (it
+        still grows on demand); in-RAM devices ignore it.
+        """
+        self.delete(name)
+        if self.spill_dir is not None:
+            self.spill_dir.mkdir(parents=True, exist_ok=True)
+            stored: StoredFile = MappedFile(
+                self, name, self.spill_dir / _spill_filename(name),
+                capacity_records=capacity_records,
+            )
+        else:
+            stored = StoredFile(self, name)
         self._files[name] = stored
         return stored
 
@@ -110,7 +234,9 @@ class BlockDevice:
             raise FileNotFoundError(f"no such file on device: {name!r}") from None
 
     def delete(self, name: str) -> None:
-        self._files.pop(name, None)
+        stored = self._files.pop(name, None)
+        if isinstance(stored, MappedFile):
+            stored.discard_backing()
 
     def write_records(self, name: str, records: Iterable[Record]) -> StoredFile:
         """Create a file and fill it page by page (accounted)."""

@@ -104,11 +104,30 @@ class InstrumentedArray:
         stats: Optional[MemoryStats] = None,
         trace: Optional[TraceHook] = None,
         name: str = "",
+        copy: bool = True,
     ) -> None:
-        words = _as_words(data)
-        # _as_words returns its argument unchanged only when it is already a
-        # uint32 ndarray; copy then, so the array never aliases caller data.
-        self._data = words.copy() if words is data else words
+        if not copy:
+            # Buffer adoption: the array *aliases* the caller's uint32
+            # buffer (a shared-memory view or a scratch-segment slice), so
+            # several arrays — possibly in several processes — can expose
+            # windows of one allocation.  The repro.parallel shard plan
+            # relies on this: no pickling, no copies.
+            if not (
+                isinstance(data, np.ndarray)
+                and data.dtype == np.uint32
+                and data.ndim == 1
+                and data.flags.c_contiguous
+            ):
+                raise ValueError(
+                    "copy=False requires a contiguous 1-D uint32 ndarray"
+                )
+            self._data = data
+        else:
+            words = _as_words(data)
+            # _as_words returns its argument unchanged only when it is
+            # already a uint32 ndarray; copy then, so the array never
+            # aliases caller data.
+            self._data = words.copy() if words is data else words
         # Scalar element access goes through a memoryview of the same
         # buffer: it returns plain Python ints (no numpy scalars leak into
         # the sorters' arithmetic), rejects out-of-range values on write,
@@ -214,6 +233,19 @@ class InstrumentedArray:
         stream (peeks must stay observationally invisible).
         """
         return self._data[np.asarray(indices, dtype=np.int64)]
+
+    def poke_block_np(self, start: int, values: np.ndarray) -> None:
+        """Unaccounted raw store — the write-side dual of :meth:`peek_block_np`.
+
+        Only for kernels whose accounting is *analytic*: the fused shard
+        kernels (:mod:`repro.parallel.shard_kernels`) compute a whole sort's
+        result in one vectorized step and charge the exact read/write
+        counts of the pass-by-pass reference separately, so the store
+        itself must not touch the counters, any RNG stream, or tracing.
+        Never use this where per-access accounting or corruption applies.
+        """
+        vals = _as_words(values)
+        self._data[start : start + vals.size] = vals
 
     def _trace_block(self, op: str, start: int, count: int) -> None:
         """Emit one trace event per element of a block access."""
@@ -337,8 +369,9 @@ class ApproxArray(InstrumentedArray):
         seed: int = 0,
         trace: Optional[TraceHook] = None,
         name: str = "",
+        copy: bool = True,
     ) -> None:
-        super().__init__(data, stats=stats, trace=trace, name=name)
+        super().__init__(data, stats=stats, trace=trace, name=name, copy=copy)
         if precise_iterations <= 0:
             raise ValueError("precise_iterations must be positive")
         self.model = model

@@ -108,8 +108,9 @@ class SpintronicArray(InstrumentedArray):
         seed: int = 0,
         trace: Optional[TraceHook] = None,
         name: str = "",
+        copy: bool = True,
     ) -> None:
-        super().__init__(data, stats=stats, trace=trace, name=name)
+        super().__init__(data, stats=stats, trace=trace, name=name, copy=copy)
         self.model = model
         self._rng = random.Random(seed)
         self._np_rng = np.random.default_rng((seed, 0x5E17))

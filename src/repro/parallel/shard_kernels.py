@@ -1,0 +1,130 @@
+"""Fused per-shard kernels for precise memory (DESIGN.md section 12).
+
+The generic numpy kernels of :mod:`repro.sorting` stay faithful to the
+paper's pass structure: a k-pass LSD radix sort materializes every pass
+through the accounted batch primitives, because on *approximate* memory
+each pass's writes draw corruption and on precise memory the pass stream is
+the calibrated reference the pcmsim replay and the differential oracle are
+built around.
+
+Inside a shard none of that is load-bearing: the shard is private to one
+worker, its memory is precise (writes are exact), and the accounting of the
+pass-by-pass execution is a closed form in ``n``.  So the fused kernels
+compute the final permutation with a single stable ``np.argsort`` and
+charge the *exact* counter values the pass-by-pass numpy path would have
+accumulated — making them bit-identical in both output and ``MemoryStats``
+to running the base sorter on the shard (property-tested in
+``tests/parallel/test_shard_kernels.py`` and enforced by the
+``sharded_serial`` oracle class), while doing O(n log n) work once instead
+of once per pass.
+
+Fusion applies only when every bit-identity precondition holds; the
+selector below mirrors :meth:`repro.sorting.base.BaseSorter.
+_use_numpy_kernels` and additionally requires bare :class:`PreciseArray`
+operands (wrappers — sanitizer shadows, write-combining buffers — are
+excluded by strict type checks, exactly like the pool dispatch path).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.kernels import resolve_kernels
+from repro.memory.approx_array import InstrumentedArray, PreciseArray
+from repro.sorting.base import BaseSorter
+from repro.sorting.mergesort import Mergesort
+from repro.sorting.radix import LSDRadixSort
+
+#: Signature of a fused kernel: sorts ``(keys, ids)`` in place with
+#: analytic accounting.  ``ids`` may be None.
+FusedKernel = Callable[
+    [PreciseArray, "PreciseArray | None"], None
+]
+
+
+def fused_kernel_for(
+    base: BaseSorter,
+    keys: InstrumentedArray,
+    ids: Optional[InstrumentedArray],
+) -> Optional[FusedKernel]:
+    """The fused kernel replacing ``base.sort`` on this shard, or ``None``.
+
+    ``None`` means the shard must run the base sorter unmodified — the
+    operands are approximate (corruption must be drawn pass by pass), a
+    trace hook needs per-access events, the process default is the scalar
+    reference path, or the algorithm has no pass-structure-free closed form
+    (MSD/quicksort recursion is data-dependent).
+    """
+    if resolve_kernels(base.kernels) != "numpy":
+        return None
+    if type(keys) is not PreciseArray or keys.trace is not None:
+        return None
+    if ids is not None and (
+        type(ids) is not PreciseArray or ids.trace is not None
+    ):
+        return None
+    if type(base) is Mergesort:
+        return _fused_mergesort
+    if type(base) is LSDRadixSort:
+        bits = base.bits
+        plan_len = len(base._plan)
+        return lambda keys, ids: _fused_lsd(keys, ids, plan_len)
+    return None
+
+
+def _stable_order(keys: PreciseArray) -> "tuple[np.ndarray, np.ndarray]":
+    """Unaccounted contents and their stable ascending permutation."""
+    values = keys.peek_block_np(0, len(keys))
+    return values, np.argsort(values, kind="stable")
+
+
+def _fused_mergesort(
+    keys: PreciseArray, ids: Optional[PreciseArray]
+) -> None:
+    """Bottom-up mergesort, fused.
+
+    A stable bottom-up mergesort's output is the unique stable ascending
+    order, so one stable argsort reproduces it bit for bit.  Accounting
+    replays the numpy level path exactly: ``ceil(log2 n)`` levels, each
+    reading and rewriting every element of each array once, plus the
+    copy-home pass when the level count is odd (the result would otherwise
+    sit in the ping-pong scratch buffer).
+    """
+    n = len(keys)
+    values, order = _stable_order(keys)
+    levels = math.ceil(math.log2(n))
+    touches = (levels + (levels % 2)) * n  # per array: reads == writes
+    keys.stats.record_precise_read(touches)
+    keys.stats.record_precise_write(touches)
+    keys.poke_block_np(0, values[order])
+    if ids is not None:
+        ids.stats.record_precise_read(touches)
+        ids.stats.record_precise_write(touches)
+        ids.poke_block_np(0, ids.peek_block_np(0, n)[order])
+
+
+def _fused_lsd(
+    keys: PreciseArray, ids: Optional[PreciseArray], passes: int
+) -> None:
+    """Queue-bucket LSD radix sort, fused.
+
+    Successive stable digit passes compose to the stable sort by the full
+    key, so one stable argsort reproduces the final array.  Each reference
+    pass moves every element twice per array (array -> bucket region ->
+    array): ``2n`` reads and ``2n`` writes per pass per array, all against
+    the shared shard stats (the bucket region is a ``clone_empty`` of the
+    operand).
+    """
+    n = len(keys)
+    values, order = _stable_order(keys)
+    touches = 2 * passes * n
+    keys.stats.record_precise_read(touches)
+    keys.stats.record_precise_write(touches)
+    keys.poke_block_np(0, values[order])
+    if ids is not None:
+        ids.stats.record_precise_read(touches)
+        ids.stats.record_precise_write(touches)
+        ids.poke_block_np(0, ids.peek_block_np(0, n)[order])

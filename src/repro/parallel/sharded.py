@@ -1,0 +1,562 @@
+"""Sharded sorting over shared memory (DESIGN.md section 12).
+
+:class:`ShardedSorter` wraps any registry sorter and splits one sort into
+``shards`` key-range-disjoint sub-sorts:
+
+1. **Partition** (parent, accounted): read the whole array once, assign
+   every key a shard by key range (radix prefix or sampled splitters),
+   and write the stably-permuted data into a *scratch allocation* — one
+   contiguous uint32 buffer holding the keys segment and, when present,
+   the ids segment.  The scratch arrays are the same memory kind as the
+   operands and share their ``MemoryStats`` (exactly like the sorters' own
+   ``clone_empty`` scratch), so the partition pass is costed and corrupted
+   like any other accounted pass.
+2. **Shard sorts**: each shard is an array *adopting* a window of the
+   scratch buffer (``copy=False`` — no pickling, no copies), with a fresh
+   ``MemoryStats`` and a parent-derived RNG seed.  With ``workers >= 2``
+   the buffer is a ``multiprocessing.shared_memory`` segment and shards run
+   on the persistent fork pool (:mod:`repro.parallel.pool`); otherwise the
+   buffer is a plain allocation and shards run in-process.  Both paths
+   build identical arrays with identical seeds and run the identical
+   kernel, so they are bit-identical in output *and* stats — pooling is
+   purely a placement decision.  Precise-memory shards additionally take
+   the fused kernels of :mod:`repro.parallel.shard_kernels`.
+3. **Reduce**: per-shard stats merge into the operands' stats in shard
+   order (fixed float summation order → bit-exact aggregate), each merge
+   wrapped in a ``shard.<i>`` tracer span whose delta *is* that shard's
+   stats — the aggregate tiles exactly the way ``repro.obs`` span deltas
+   tile over a serial run.
+4. **Merge** (parent, accounted): shard ranges are disjoint and ordered,
+   so the merge is a concatenating copy-back routed through a
+   :class:`~repro.memory.write_combining.WriteCombiningArray` front on the
+   destination (block writes are already-combined streams; the buffer
+   absorbs any straggler scalar writes and reports ``combined_writes``).
+
+The wrapper delegates to the base sorter unchanged whenever a sharded
+plan could not be bit-faithful: per-access trace hooks attached, operand
+types it does not know byte-for-byte (sanitizer shadows, write-combining
+fronts — anything but the three concrete memory classes), or arrays below
+``min_n``.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import shared_memory
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.kernels import resolve_kernels
+from repro.memory.approx_array import ApproxArray, InstrumentedArray, PreciseArray
+from repro.memory.spintronic import SpintronicArray
+from repro.memory.stats import MemoryStats
+from repro.memory.write_combining import WriteCombiningArray
+from repro.obs import get_tracer
+from repro.sorting.base import BaseSorter
+
+from .pool import fork_available, get_pool
+from .shard_kernels import fused_kernel_for
+
+#: Module path shipped to workers for late task binding.
+_MODULE = "repro.parallel.sharded"
+
+#: Worker-count override honoured when ``ShardedSorter(workers=None)``.
+SHARD_WORKERS_ENV = "REPRO_SHARD_WORKERS"
+
+#: Splitter sample size per shard for ``partition="sample"``.
+_OVERSAMPLE = 32
+
+#: Memory kinds a shard plan can rebuild in a worker.  Strict type checks
+#: (not isinstance) — a subclass or wrapper may carry extra semantics the
+#: worker-side rebuild would silently drop.
+_KINDS = {PreciseArray: "precise", ApproxArray: "pcm", SpintronicArray: "spin"}
+
+
+def _memory_spec(array: InstrumentedArray) -> tuple:
+    """Picklable recipe rebuilding ``array``'s memory kind over a buffer."""
+    kind = _KINDS[type(array)]
+    if kind == "pcm":
+        return (kind, array.model, array.precise_iterations)
+    if kind == "spin":
+        return (kind, array.model)
+    return (kind,)
+
+
+def _build_shard_array(
+    spec: tuple, segment: np.ndarray, stats: MemoryStats, seed: int, name: str
+) -> InstrumentedArray:
+    """Array of kind ``spec`` adopting ``segment`` (no copy, fresh streams)."""
+    kind = spec[0]
+    if kind == "precise":
+        return PreciseArray(segment, stats=stats, name=name, copy=False)
+    if kind == "pcm":
+        return ApproxArray(
+            segment, model=spec[1], precise_iterations=spec[2],
+            stats=stats, seed=seed, name=name, copy=False,
+        )
+    if kind == "spin":
+        return SpintronicArray(
+            segment, model=spec[1], stats=stats, seed=seed, name=name,
+            copy=False,
+        )
+    raise ValueError(f"unknown memory spec {spec!r}")
+
+
+def _sort_shard_segment(
+    base: BaseSorter,
+    spec: tuple,
+    keys_segment: np.ndarray,
+    ids_segment: Optional[np.ndarray],
+    seed: int,
+    name: str,
+) -> "tuple[MemoryStats, MemoryStats]":
+    """Sort one shard window in place; returns its (keys, ids) stats.
+
+    This is the *single* implementation both execution paths run — the pool
+    worker over a shared-memory view, the in-process path over a slice of
+    the local scratch buffer.  Bit-identity between the paths reduces to
+    this function being deterministic in (contents, spec, seed, sorter).
+    """
+    keys_stats = MemoryStats()
+    ids_stats = MemoryStats()
+    keys = _build_shard_array(spec, keys_segment, keys_stats, seed, name)
+    ids = (
+        PreciseArray(ids_segment, stats=ids_stats, name=f"{name}.ids", copy=False)
+        if ids_segment is not None
+        else None
+    )
+    if len(keys) >= 2:
+        fused = fused_kernel_for(base, keys, ids)
+        if fused is not None:
+            fused(keys, ids)
+        else:
+            base.sort(keys, ids)
+    return keys_stats, ids_stats
+
+
+def _sort_shard_task(payload: dict) -> "tuple[MemoryStats, MemoryStats]":
+    """Pool task: sort one shard of a shared-memory segment.
+
+    The payload carries only names, offsets and the (small) picklable
+    memory spec; the key data stays in the shared segment.  The worker
+    attaches, sorts the window in place, detaches, and returns the shard's
+    fresh stats.
+    """
+    # Attaching re-registers the segment with the resource tracker the
+    # worker inherited from the parent at fork (the pool guarantees it was
+    # already running) — a set-idempotent no-op, balanced by the single
+    # unregister the parent's unlink sends.
+    shm = shared_memory.SharedMemory(name=payload["shm"])
+    try:
+        return _sort_shard_attached(shm, payload)
+    finally:
+        # _sort_shard_attached's views died with its frame, so no exported
+        # buffers remain and close() cannot raise BufferError.
+        shm.close()
+
+
+def _sort_shard_attached(
+    shm: shared_memory.SharedMemory, payload: dict
+) -> "tuple[MemoryStats, MemoryStats]":
+    from repro.sorting.registry import make_base_sorter
+
+    buf = np.frombuffer(shm.buf, dtype=np.uint32, count=payload["total"])
+    offset = payload["offset"]
+    count = payload["count"]
+    keys_segment = buf[offset : offset + count]
+    ids_offset = payload["ids_offset"]
+    ids_segment = (
+        buf[ids_offset : ids_offset + count] if ids_offset is not None else None
+    )
+    base = make_base_sorter(payload["algorithm"], **payload["sorter_kwargs"])
+    return _sort_shard_segment(
+        base, payload["mem"], keys_segment, ids_segment,
+        payload["seed"], payload["name"],
+    )
+
+
+class ShardedSorter(BaseSorter):
+    """Key-range sharding wrapper around any registry sorter.
+
+    Parameters
+    ----------
+    base:
+        The sorter run on each shard.  Nesting sharded sorters is rejected.
+    shards:
+        Number of key-range shards (>= 1; 1 delegates to ``base``).
+    workers:
+        Pool worker processes.  ``None`` reads :data:`SHARD_WORKERS_ENV`,
+        defaulting to ``min(shards, os.cpu_count())``; values below 2 (or
+        platforms without fork) run shards in-process — bit-identical to
+        the pooled run by construction.
+    partition:
+        ``"radix"`` splits the 32-bit key space into equal fixed ranges;
+        ``"sample"`` derives splitters from a deterministic even-stride
+        sample of the input (robust to skewed distributions).
+    wc_capacity:
+        Entry capacity of the write-combining front used by the merge.
+    min_n:
+        Below this length sharding overhead cannot pay; delegate to base.
+    kernels:
+        Kernel mode forwarded to a *copy* of ``base`` (the wrapper itself
+        runs no element kernels); ``None`` keeps ``base`` as given.
+    """
+
+    def __init__(
+        self,
+        base: BaseSorter,
+        shards: int = 2,
+        workers: Optional[int] = None,
+        partition: str = "radix",
+        wc_capacity: int = 64,
+        min_n: int = 64,
+        kernels: Optional[str] = None,
+    ) -> None:
+        super().__init__(kernels)
+        if isinstance(base, ShardedSorter):
+            raise ConfigError("sharded sorters do not nest")
+        if shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {shards}")
+        if partition not in ("radix", "sample"):
+            raise ConfigError(
+                f"partition must be 'radix' or 'sample', got {partition!r}"
+            )
+        if workers is not None and workers < 0:
+            raise ConfigError(f"workers must be >= 0, got {workers}")
+        if kernels is not None:
+            from repro.sorting.registry import with_kernels
+
+            base = with_kernels(base, kernels)
+        self.base = base
+        self.shards = shards
+        self.workers = workers
+        self.partition = partition
+        self.wc_capacity = wc_capacity
+        self.min_n = min_n
+        self.name = f"sharded:{base.name}:{shards}"
+        #: Introspection of the most recent sharded run (tests, bench, docs);
+        #: ``None`` until a sort takes the sharded path.
+        self.last_plan: Optional[dict] = None
+
+    # ------------------------------------------------------------------ #
+    # Plan gating
+    # ------------------------------------------------------------------ #
+
+    def _effective_workers(self) -> int:
+        if self.workers is not None:
+            workers = self.workers
+        else:
+            raw = os.environ.get(SHARD_WORKERS_ENV)
+            if raw is not None:
+                try:
+                    workers = int(raw)
+                except ValueError:
+                    raise ConfigError(
+                        f"{SHARD_WORKERS_ENV} must be an integer, got {raw!r}"
+                    ) from None
+                if workers < 0:
+                    raise ConfigError(
+                        f"{SHARD_WORKERS_ENV} must be >= 0, got {workers}"
+                    )
+            else:
+                workers = min(self.shards, os.cpu_count() or 1)
+        if workers >= 2 and not fork_available():
+            workers = 0
+        return workers
+
+    def _shardable(
+        self, keys: InstrumentedArray, ids: Optional[InstrumentedArray]
+    ) -> bool:
+        """Whether the sharded plan preserves the serial contract here.
+
+        Wrappers (sanitizer shadows, write-combining fronts) and per-access
+        trace hooks need to observe every element access, which the shard
+        windows would hide from them; unknown array types cannot be rebuilt
+        in a worker.  All of those delegate to the base sorter — same
+        result, just unsharded.
+        """
+        if self.shards < 2 or len(keys) < max(2, self.min_n):
+            return False
+        if type(keys) not in _KINDS or keys.trace is not None:
+            return False
+        if ids is not None and (
+            type(ids) is not PreciseArray or ids.trace is not None
+        ):
+            return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Sorter interface
+    # ------------------------------------------------------------------ #
+
+    def sort(
+        self, keys: InstrumentedArray, ids: Optional[InstrumentedArray] = None
+    ) -> None:
+        if ids is not None and len(ids) != len(keys):
+            raise ValueError(
+                f"ids length {len(ids)} does not match keys length {len(keys)}"
+            )
+        if len(keys) < 2:
+            return
+        if not self._shardable(keys, ids):
+            self.base.sort(keys, ids)
+            return
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                f"sort.{self.name}", stats=keys.stats,
+                attrs={"algo": self.name, "n": len(keys),
+                       "kernels": resolve_kernels(self.base.kernels),
+                       "region": keys.region},
+            ):
+                self._sort_sharded(keys, ids)
+        else:
+            self._sort_sharded(keys, ids)
+
+    def expected_key_writes(self, n: int) -> float:
+        """Partition + merge rewrite every key once each, plus shard sorts.
+
+        Shard sizes are taken as the even split — the uniform-keys
+        expectation of the radix partition, and what the sampled splitters
+        target by construction.
+        """
+        if n < 2:
+            return 0.0
+        if self.shards < 2 or n < max(2, self.min_n):
+            return self.base.expected_key_writes(n)
+        low = n // self.shards
+        remainder = n - low * self.shards
+        per_shard = [
+            low + (1 if index < remainder else 0)
+            for index in range(self.shards)
+        ]
+        return 2.0 * n + sum(
+            self.base.expected_key_writes(size) for size in per_shard
+        )
+
+    # ------------------------------------------------------------------ #
+    # The sharded plan
+    # ------------------------------------------------------------------ #
+
+    def _splitters(self, values: np.ndarray) -> np.ndarray:
+        """Upper-exclusive shard boundaries (``shards - 1`` of them)."""
+        if self.partition == "radix":
+            # Equal slices of the 32-bit key space: shard j owns
+            # [j * 2^32 / S, (j+1) * 2^32 / S).
+            return (
+                np.arange(1, self.shards, dtype=np.uint64) << np.uint64(32)
+            ) // np.uint64(self.shards)
+        # Deterministic even-stride sample (no RNG stream consumed): order
+        # statistics of the sample approximate the input quantiles, so
+        # skewed distributions still split into near-even shards.
+        stride = max(1, values.size // (self.shards * _OVERSAMPLE))
+        sample = np.sort(values[::stride].astype(np.uint64))
+        picks = (
+            np.arange(1, self.shards, dtype=np.int64) * sample.size
+        ) // self.shards
+        return sample[picks]
+
+    def _shard_of(self, values: np.ndarray) -> np.ndarray:
+        return np.searchsorted(
+            self._splitters(values), values.astype(np.uint64), side="right"
+        )
+
+    def _sort_sharded(
+        self, keys: InstrumentedArray, ids: Optional[InstrumentedArray]
+    ) -> None:
+        n = len(keys)
+        tracer = get_tracer()
+
+        # ---- partition (accounted read + permuted write) -------------- #
+        values = keys.read_block_np(0, n)
+        id_values = ids.read_block_np(0, n) if ids is not None else None
+        shard_of = self._shard_of(values)
+        order = np.argsort(shard_of, kind="stable")
+        counts = np.bincount(shard_of, minlength=self.shards).astype(np.int64)
+        offsets = np.zeros(self.shards, dtype=np.int64)
+        np.cumsum(counts[:-1], out=offsets[1:])
+
+        # Parent-side RNG derivation, in fixed order, *before* any
+        # execution-mode branch: the scratch array's corruption stream and
+        # every shard's stream come from the operand's clone-seed stream
+        # exactly as clone_empty would draw them, so pooled and in-process
+        # runs (and repeated runs under one seed) see identical streams.
+        rng = getattr(keys, "_rng", None)
+        scratch_seed = rng.getrandbits(32) if rng is not None else 0
+        shard_seeds = [
+            rng.getrandbits(32) if rng is not None else 0
+            for _ in range(self.shards)
+        ]
+
+        workers = self._effective_workers()
+        pooled = workers >= 2
+        total = n + (n if ids is not None else 0)
+        shm: Optional[shared_memory.SharedMemory] = None
+        if pooled:
+            shm = shared_memory.SharedMemory(create=True, size=4 * total)
+            buffer = np.frombuffer(shm.buf, dtype=np.uint32, count=total)
+            buffer[:] = 0
+        else:
+            buffer = np.zeros(total, dtype=np.uint32)
+
+        try:
+            spec = _memory_spec(keys)
+            scratch_keys = _build_shard_array(
+                spec, buffer[:n], keys.stats, scratch_seed,
+                f"{keys.name}.shards",
+            )
+            scratch_keys.write_block(0, values[order])
+            scratch_ids: Optional[PreciseArray] = None
+            if ids is not None and id_values is not None:
+                scratch_ids = PreciseArray(
+                    buffer[n:], stats=ids.stats, name=f"{ids.name}.shards",
+                    copy=False,
+                )
+                scratch_ids.write_block(0, id_values[order])
+
+            # ---- shard sorts (pool or in-process; identical either way) #
+            shard_stats = self._run_shards(
+                shm, buffer, spec, counts, offsets, shard_seeds,
+                ids is not None, workers, keys.name,
+            )
+
+            # ---- stats reduction (fixed order; span delta == shard) --- #
+            for index in range(self.shards):
+                keys_stats, ids_stats = shard_stats[index]
+                with tracer.span(
+                    f"shard.{index}", stats=keys.stats,
+                    attrs={"algo": self.name,
+                           "count": int(counts[index]),
+                           "pooled": pooled},
+                ):
+                    keys.stats.merge(keys_stats)
+                if ids is not None:
+                    ids.stats.merge(ids_stats)
+            tracer.gauge("shard.workers", workers, attrs={"algo": self.name})
+            tracer.gauge(
+                "shard.max_count", int(counts.max()), attrs={"algo": self.name}
+            )
+
+            # ---- merge-back through the write-combining front --------- #
+            combined = 0
+            flushed = 0
+            with tracer.span(f"merge.{self.name}", stats=keys.stats):
+                front = WriteCombiningArray(keys, capacity=self.wc_capacity)
+                ids_front = (
+                    WriteCombiningArray(ids, capacity=self.wc_capacity)
+                    if ids is not None
+                    else None
+                )
+                for index in range(self.shards):
+                    count = int(counts[index])
+                    if count == 0:
+                        continue
+                    offset = int(offsets[index])
+                    front.write_block(
+                        offset, scratch_keys.read_block_np(offset, count)
+                    )
+                    if ids_front is not None and scratch_ids is not None:
+                        ids_front.write_block(
+                            offset, scratch_ids.read_block_np(offset, count)
+                        )
+                flushed = front.flush()
+                combined = front.combined_writes
+                if ids_front is not None:
+                    flushed += ids_front.flush()
+                    combined += ids_front.combined_writes
+
+            self.last_plan = {
+                "n": n,
+                "shards": self.shards,
+                "counts": counts.tolist(),
+                "workers": workers,
+                "pooled": pooled,
+                "partition": self.partition,
+                "shard_stats": [pair[0].as_dict() for pair in shard_stats],
+                "combined_writes": combined,
+                "flushed_writes": flushed,
+            }
+        finally:
+            if shm is not None:
+                # Drop every view into the segment before closing: numpy
+                # arrays keep the mapping pinned and close() would raise.
+                del buffer
+                try:
+                    del scratch_keys, scratch_ids
+                except NameError:
+                    pass
+                shm.close()
+                shm.unlink()
+
+    def _run_shards(
+        self,
+        shm: Optional[shared_memory.SharedMemory],
+        buffer: np.ndarray,
+        spec: tuple,
+        counts: np.ndarray,
+        offsets: np.ndarray,
+        shard_seeds: list,
+        with_ids: bool,
+        workers: int,
+        keys_name: str,
+    ) -> "list[tuple[MemoryStats, MemoryStats]]":
+        """Sort every shard window, pooled or in-process, in shard order."""
+        n = int(counts.sum())
+        results: "list[tuple[MemoryStats, MemoryStats]]" = [
+            (MemoryStats(), MemoryStats()) for _ in range(self.shards)
+        ]
+        live = [
+            index for index in range(self.shards) if int(counts[index]) >= 2
+        ]
+        from repro.sorting.registry import _implicit_kwargs, make_base_sorter
+
+        # Both execution paths rebuild a *fresh* base sorter per shard from
+        # the same recipe: a stateful base (quicksort's pivot RNG) must not
+        # leak state across shards, or in-process runs would diverge from
+        # pooled runs, where every worker task rebuilds from scratch.  The
+        # kernel mode is pinned to what the parent resolved — a worker's
+        # inherited environment is frozen at fork time and must not decide.
+        sorter_kwargs = dict(_implicit_kwargs(self.base))
+        sorter_kwargs["kernels"] = resolve_kernels(self.base.kernels)
+        if shm is not None and workers >= 2:
+            calls = []
+            for index in live:
+                calls.append((
+                    _MODULE,
+                    "_sort_shard_task",
+                    {
+                        "shm": shm.name,
+                        "total": buffer.size,
+                        "offset": int(offsets[index]),
+                        "ids_offset": (
+                            n + int(offsets[index]) if with_ids else None
+                        ),
+                        "count": int(counts[index]),
+                        "mem": spec,
+                        "seed": shard_seeds[index],
+                        "algorithm": self.base.name,
+                        "sorter_kwargs": sorter_kwargs,
+                        "name": f"{keys_name}.shard{index}",
+                    },
+                ))
+            for index, pair in zip(live, get_pool(workers).run(calls)):
+                results[index] = pair
+        else:
+            for index in live:
+                offset = int(offsets[index])
+                count = int(counts[index])
+                results[index] = _sort_shard_segment(
+                    make_base_sorter(self.base.name, **sorter_kwargs),
+                    spec,
+                    buffer[offset : offset + count],
+                    (
+                        buffer[n + offset : n + offset + count]
+                        if with_ids
+                        else None
+                    ),
+                    shard_seeds[index],
+                    f"{keys_name}.shard{index}",
+                )
+        return results

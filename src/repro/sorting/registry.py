@@ -8,6 +8,7 @@ Appendix-B histogram variants ``hlsd3``–``hlsd6`` / ``hmsd3``–``hmsd6``.
 
 from __future__ import annotations
 
+import os
 from typing import Callable
 
 from repro.errors import ConfigError
@@ -58,16 +59,30 @@ APPROX_KERNEL_EXACT = frozenset(
 )
 
 
+#: Environment variable wrapping every :func:`make_sorter` result in a
+#: :class:`~repro.parallel.sharded.ShardedSorter` with this many shards
+#: (values below 2 are a no-op).  Set by ``runner.py --shards`` so whole
+#: experiments go sharded without any per-site plumbing.
+SHARDS_ENV = "REPRO_SHARDS"
+
+
 def available_sorters() -> list[str]:
-    """Names accepted by :func:`make_sorter`, sorted alphabetically."""
+    """Names accepted by :func:`make_sorter`, sorted alphabetically.
+
+    Only base algorithm names are listed: the ``sharded:`` spec prefix and
+    the :data:`SHARDS_ENV` wrap compose over these rather than extending
+    the paper's algorithm set.
+    """
     return sorted(_FACTORIES)
 
 
-def make_sorter(name: str, **kwargs) -> BaseSorter:
-    """Instantiate a sorter by its registry name.
+def make_base_sorter(name: str, **kwargs) -> BaseSorter:
+    """Instantiate a plain (unsharded) sorter by its registry name.
 
     Keyword arguments are forwarded to the constructor (e.g.
-    ``make_sorter("quicksort", seed=7)``).
+    ``make_base_sorter("quicksort", seed=7)``).  This is the factory the
+    shard pool workers rebuild from — it must never consult
+    :data:`SHARDS_ENV`, or a worker would shard recursively.
     """
     try:
         factory = _FACTORIES[name]
@@ -83,6 +98,73 @@ def make_sorter(name: str, **kwargs) -> BaseSorter:
     return factory()
 
 
+def _env_shards() -> int:
+    raw = os.environ.get(SHARDS_ENV)
+    if raw is None:
+        return 1
+    try:
+        shards = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{SHARDS_ENV} must be an integer, got {raw!r}"
+        ) from None
+    if shards < 1:
+        raise ConfigError(f"{SHARDS_ENV} must be >= 1, got {shards}")
+    return shards
+
+
+def make_sorter(name: str, **kwargs) -> BaseSorter:
+    """Instantiate a sorter by name, honouring sharding spec and environment.
+
+    Accepts the plain registry names plus the sharded spec forms
+    ``"sharded:<base>"`` (default shard count) and
+    ``"sharded:<base>:<shards>"``.  When :data:`SHARDS_ENV` requests >= 2
+    shards, plain names are wrapped in a
+    :class:`~repro.parallel.sharded.ShardedSorter` too — experiments opt
+    in with one environment variable and the PR-5 oracle/sanitizer lanes
+    exercise the sharded path with zero changes.
+    """
+    if name.startswith("sharded:"):
+        from repro.parallel.sharded import ShardedSorter
+
+        parts = name.split(":")
+        if len(parts) == 2:
+            base_name, shards = parts[1], None
+        elif len(parts) == 3:
+            base_name, shards_raw = parts[1], parts[2]
+            try:
+                shards = int(shards_raw)
+            except ValueError:
+                raise ConfigError(
+                    f"bad shard count in sorter spec {name!r}"
+                ) from None
+        else:
+            raise ConfigError(
+                f"bad sharded sorter spec {name!r}; expected "
+                "'sharded:<base>' or 'sharded:<base>:<shards>'"
+            )
+        wrapper_kwargs = {
+            key: kwargs.pop(key)
+            for key in ("shards", "workers", "partition", "wc_capacity", "min_n")
+            if key in kwargs
+        }
+        if shards is not None:
+            wrapper_kwargs["shards"] = shards
+        kernels = kwargs.pop("kernels", None)
+        return ShardedSorter(
+            make_base_sorter(base_name, **kwargs),
+            kernels=kernels,
+            **wrapper_kwargs,
+        )
+    sorter = make_base_sorter(name, **kwargs)
+    env_shards = _env_shards()
+    if env_shards >= 2:
+        from repro.parallel.sharded import ShardedSorter
+
+        return ShardedSorter(sorter, shards=env_shards)
+    return sorter
+
+
 def _implicit_kwargs(instance: BaseSorter) -> dict:
     """Constructor kwargs that reproduce ``instance``'s configuration."""
     kwargs: dict = {}
@@ -90,6 +172,16 @@ def _implicit_kwargs(instance: BaseSorter) -> dict:
         kwargs["bits"] = instance.bits
     if hasattr(instance, "seed"):
         kwargs["seed"] = instance.seed
+    if hasattr(instance, "base"):
+        # ShardedSorter: reproduce the wrapper around the same base sorter.
+        kwargs.update(
+            base=instance.base,
+            shards=instance.shards,
+            workers=instance.workers,
+            partition=instance.partition,
+            wc_capacity=instance.wc_capacity,
+            min_n=instance.min_n,
+        )
     if getattr(instance, "kernels", None) is not None:
         kwargs["kernels"] = instance.kernels
     return kwargs

@@ -25,6 +25,12 @@ and compares everything observable:
     :class:`repro.experiments.checkpoint.CellJournal`, interrupted halfway
     and resumed, vs the same cells computed in one pass — bit-identical
     per-cell digests.
+``sharded_serial``
+    The same sharded sort plan executed on the fork worker pool (keys in
+    ``multiprocessing.shared_memory`` segments) vs entirely in-process —
+    bit-identical keys, IDs, Rem~, and stats on both precise and
+    approximate memory.  Sharded execution must be a pure performance
+    decision, never an observable one.
 
 Every divergence is reported as a :class:`Divergence` carrying the first
 differing element/counter and a replayable description of the case; the
@@ -408,6 +414,61 @@ def check_resumed_uninterrupted(case: OracleCase) -> list[Divergence]:
     return out
 
 
+def check_sharded_serial(case: OracleCase) -> list[Divergence]:
+    """Pooled sharded execution ≡ in-process sharded execution, bit for bit.
+
+    Both runs execute the *same* sharded plan (partition, per-shard seeds,
+    stats reduction order are all fixed parent-side); only where the shard
+    kernels run differs — forked workers over shared memory vs the calling
+    process.  Any divergence means shard state leaked across the process
+    boundary.  On platforms without fork both runs are in-process and the
+    class degenerates to a self-consistency check.
+    """
+    from repro.parallel.sharded import ShardedSorter
+    from repro.sorting.registry import make_base_sorter
+
+    out: list[Divergence] = []
+    name = "sharded_serial"
+    memory = memory_for(case.t)
+    keys = case.keys()
+
+    def build(workers: int) -> ShardedSorter:
+        return ShardedSorter(
+            make_base_sorter(case.algorithm),
+            shards=3, workers=workers, min_n=2, kernels="numpy",
+        )
+
+    pooled = run_approx_refine(keys, build(2), memory, seed=case.seed)
+    local = run_approx_refine(keys, build(0), memory, seed=case.seed)
+    _first_mismatch(out, name, "final_keys", sorted(keys), pooled.final_keys)
+    _first_mismatch(out, name, "final_keys", pooled.final_keys,
+                    local.final_keys)
+    _first_mismatch(out, name, "final_ids", pooled.final_ids,
+                    local.final_ids)
+    if pooled.rem_tilde != local.rem_tilde:
+        out.append(Divergence(
+            name, "rem_tilde", None, pooled.rem_tilde, local.rem_tilde
+        ))
+    _compare_stats(out, name, "stats", pooled.stats, local.stats)
+    if out:
+        return out
+
+    pooled_precise = run_precise_baseline(keys, build(2))
+    local_precise = run_precise_baseline(keys, build(0))
+    _first_mismatch(out, name, "precise_final_keys", sorted(keys),
+                    pooled_precise.final_keys)
+    _first_mismatch(out, name, "precise_final_ids",
+                    pooled_precise.final_ids, local_precise.final_ids)
+    if sorted(pooled_precise.final_ids) != list(range(len(keys))):
+        out.append(Divergence(
+            name, "precise_final_ids", None,
+            "a permutation of input positions", "not a permutation",
+        ))
+    _compare_stats(out, name, "precise_stats", pooled_precise.stats,
+                   local_precise.stats)
+    return out
+
+
 #: Registry of equivalence classes.  ``bit`` classes are deterministic;
 #: ``scalar_numpy_approx`` is distributional for non-block-writers.
 EQUIVALENCE_CLASSES: dict[str, Callable[[OracleCase], list[Divergence]]] = {
@@ -415,6 +476,7 @@ EQUIVALENCE_CLASSES: dict[str, Callable[[OracleCase], list[Divergence]]] = {
     "scalar_numpy_approx": check_scalar_numpy_approx,
     "traced_untraced": check_traced_untraced,
     "resumed_uninterrupted": check_resumed_uninterrupted,
+    "sharded_serial": check_sharded_serial,
 }
 
 #: The deterministic subset (safe for tight CI gates and fuzz smoke).
@@ -422,6 +484,7 @@ BIT_CLASSES = (
     "scalar_numpy_precise",
     "traced_untraced",
     "resumed_uninterrupted",
+    "sharded_serial",
 )
 
 

@@ -205,3 +205,125 @@ class TestModuleEntryPoint:
         )
         assert result.returncode == 0
         assert "fig09" in result.stdout
+
+
+class TestShardsCLI:
+    def test_shards_exported_to_environment(self, capsys, monkeypatch):
+        import os
+
+        from repro.sorting.registry import SHARDS_ENV
+
+        monkeypatch.setenv(SHARDS_ENV, "1")  # recorded → restored at teardown
+        assert main(
+            ["--exp", "fig02", "--scale", "smoke", "--shards", "2"]
+        ) == 0
+        assert os.environ[SHARDS_ENV] == "2"
+
+    def test_invalid_shards_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--exp", "fig02", "--shards", "0"])
+
+    def test_sharded_smoke_run_deterministic(self, capsys, monkeypatch):
+        # On approximate memory sharding changes the write pattern (and so
+        # the error realizations), so sharded output need not equal serial
+        # output — but repeating the same sharded run must be bit-identical.
+        from repro.sorting.registry import SHARDS_ENV
+
+        monkeypatch.setenv(SHARDS_ENV, "1")
+        assert main(
+            ["--exp", "table3", "--scale", "smoke", "--shards", "2"]
+        ) == 0
+        first = [
+            line for line in capsys.readouterr().out.splitlines()
+            if not line.startswith("[")
+        ]
+        assert main(
+            ["--exp", "table3", "--scale", "smoke", "--shards", "2"]
+        ) == 0
+        second = [
+            line for line in capsys.readouterr().out.splitlines()
+            if not line.startswith("[")
+        ]
+        assert second == first
+
+    def test_jobs_hint_points_at_shards(self, capsys, monkeypatch):
+        from repro.sorting.registry import SHARDS_ENV
+
+        monkeypatch.setenv(SHARDS_ENV, "1")
+        assert main(
+            ["--exp", "fig09", "--scale", "smoke", "--jobs", "2", "--quiet"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "[hint]" in err
+        assert "--shards 2" in err
+
+    def test_no_hint_when_shards_requested(self, capsys, monkeypatch):
+        from repro.sorting.registry import SHARDS_ENV
+
+        monkeypatch.setenv(SHARDS_ENV, "1")
+        assert main(
+            ["--exp", "fig09", "--scale", "smoke", "--jobs", "2",
+             "--shards", "2", "--quiet"]
+        ) == 0
+        assert "[hint]" not in capsys.readouterr().err
+
+    def test_no_hint_for_multi_experiment_fanout(self, capsys, monkeypatch):
+        from repro.sorting.registry import SHARDS_ENV
+
+        monkeypatch.setenv(SHARDS_ENV, "1")
+        assert main(
+            ["--exp", "fig02", "--exp", "table3", "--scale", "smoke",
+             "--jobs", "2", "--quiet"]
+        ) == 0
+        assert "[hint]" not in capsys.readouterr().err
+
+
+class TestBenchScalingFields:
+    def test_record_carries_machine_and_parallelism(self, capsys, tmp_path,
+                                                    monkeypatch):
+        import os
+
+        from repro.sorting.registry import SHARDS_ENV
+
+        monkeypatch.setenv(SHARDS_ENV, "1")
+        path = tmp_path / "bench.json"
+        assert main(
+            ["--exp", "fig02", "--scale", "smoke", "--bench-json", str(path)]
+        ) == 0
+        record = json.loads(path.read_text())[0]
+        assert record["cpus"] == os.cpu_count()
+        assert record["workers_effective"] == 1
+        assert record["shards"] is None
+
+    def test_speedup_vs_serial_baseline(self, capsys, tmp_path, monkeypatch):
+        from repro.sorting.registry import SHARDS_ENV
+
+        monkeypatch.setenv(SHARDS_ENV, "1")
+        path = tmp_path / "bench.json"
+        # First a serial baseline record, then a sharded run of the same
+        # configuration: the second record gains the scaling fields.
+        assert main(
+            ["--exp", "fig02", "--scale", "smoke", "--bench-json", str(path)]
+        ) == 0
+        assert main(
+            ["--exp", "fig02", "--scale", "smoke", "--shards", "2",
+             "--bench-json", str(path)]
+        ) == 0
+        records = json.loads(path.read_text())
+        assert "speedup_vs_serial" not in records[0]
+        assert "speedup_vs_serial" in records[1]
+        assert records[1]["scaling_efficiency"] == pytest.approx(
+            records[1]["speedup_vs_serial"] / 2, abs=1e-3
+        )
+
+    def test_no_speedup_without_matching_baseline(self, capsys, tmp_path,
+                                                  monkeypatch):
+        from repro.sorting.registry import SHARDS_ENV
+
+        monkeypatch.setenv(SHARDS_ENV, "1")
+        path = tmp_path / "bench.json"
+        assert main(
+            ["--exp", "fig02", "--scale", "smoke", "--shards", "2",
+             "--bench-json", str(path)]
+        ) == 0
+        assert "speedup_vs_serial" not in json.loads(path.read_text())[0]

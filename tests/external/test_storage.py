@@ -78,3 +78,81 @@ class TestBlockDevice:
             PAGE_WRITE_LATENCY_NS + PAGE_READ_LATENCY_NS
         )
         assert device.stats.total_pages == 2
+
+
+class TestMappedFile:
+    def make_device(self, tmp_path, records_per_page=8):
+        return BlockDevice(
+            records_per_page=records_per_page, spill_dir=tmp_path / "spill"
+        )
+
+    def test_spill_dir_creates_mapped_files(self, tmp_path):
+        from repro.external.storage import MappedFile
+
+        device = self.make_device(tmp_path)
+        stored = device.create("runs/alpha")
+        assert isinstance(stored, MappedFile)
+        assert stored.path.exists()
+        assert stored.path.parent == tmp_path / "spill"
+
+    def test_roundtrip_matches_in_ram_device(self, tmp_path):
+        records = [(i * 13 % 97, i) for i in range(50)]
+        ram = BlockDevice(records_per_page=8)
+        mapped = self.make_device(tmp_path)
+        a = ram.write_records("data", records)
+        b = mapped.write_records("data", records)
+        assert a.peek_all() == b.peek_all() == records
+        assert a.num_pages == b.num_pages
+        assert a.num_records == b.num_records
+        assert ram.stats.page_writes == mapped.stats.page_writes
+        for index in range(a.num_pages):
+            assert a.read_page(index) == b.read_page(index)
+        assert ram.stats.page_reads == mapped.stats.page_reads
+
+    def test_read_page_np_accounted(self, tmp_path):
+        device = self.make_device(tmp_path)
+        stored = device.create("data")
+        stored.append_page([(3, 0), (1, 1)])
+        before = device.stats.page_reads
+        page = stored.read_page_np(0)
+        assert device.stats.page_reads == before + 1
+        assert page.tolist() == [[3, 0], [1, 1]]
+
+    def test_capacity_grows_by_doubling(self, tmp_path):
+        device = self.make_device(tmp_path, records_per_page=512)
+        stored = device.create("data", capacity_records=4)
+        for chunk in range(6):
+            stored.append_page([(chunk, i) for i in range(512)])
+        assert stored.num_records == 6 * 512
+        assert [key for key, _ in stored.peek_all()[:512]] == [0] * 512
+
+    def test_delete_unlinks_backing(self, tmp_path):
+        device = self.make_device(tmp_path)
+        stored = device.create("data")
+        stored.append_page([(1, 0)])
+        path = stored.path
+        assert path.exists()
+        device.delete("data")
+        assert not path.exists()
+        assert "data" not in device.list_files()
+
+    def test_create_truncates_previous_file(self, tmp_path):
+        device = self.make_device(tmp_path)
+        first = device.create("data")
+        first.append_page([(1, 0)])
+        second = device.create("data")
+        assert second.num_records == 0
+        assert device.open("data") is second
+
+    def test_oversized_page_rejected(self, tmp_path):
+        device = self.make_device(tmp_path, records_per_page=4)
+        stored = device.create("data")
+        with pytest.raises(ValueError, match="exceeds capacity"):
+            stored.append_page([(i, i) for i in range(5)])
+
+    def test_empty_append_is_noop(self, tmp_path):
+        device = self.make_device(tmp_path)
+        stored = device.create("data")
+        stored.append_page([])
+        assert stored.num_pages == 0
+        assert device.stats.page_writes == 0

@@ -1,0 +1,98 @@
+"""Fused shard kernels must match the generic kernels bit for bit."""
+
+import pytest
+
+from repro.memory.approx_array import PreciseArray
+from repro.memory.stats import MemoryStats
+from repro.parallel.shard_kernels import fused_kernel_for
+from repro.sorting.registry import make_base_sorter
+from repro.workloads.generators import uniform_keys
+
+#: Lengths straddling the power-of-two boundaries the mergesort level
+#: count depends on.
+SHAPES = (2, 3, 17, 100, 1023, 1024, 1025)
+
+
+def run_generic(name: str, keys: list[int], with_ids: bool):
+    stats = MemoryStats()
+    array = PreciseArray(keys, stats=stats)
+    ids = None
+    ids_stats = MemoryStats()
+    if with_ids:
+        ids = PreciseArray(list(range(len(keys))), stats=ids_stats)
+    make_base_sorter(name, kernels="numpy").sort(array, ids)
+    return (
+        array.peek_block_np(0, len(array)).tolist(),
+        ids.peek_block_np(0, len(ids)).tolist() if ids is not None else None,
+        stats.as_dict(),
+        ids_stats.as_dict(),
+    )
+
+
+def run_fused(name: str, keys: list[int], with_ids: bool):
+    stats = MemoryStats()
+    array = PreciseArray(keys, stats=stats)
+    ids = None
+    ids_stats = MemoryStats()
+    if with_ids:
+        ids = PreciseArray(list(range(len(keys))), stats=ids_stats)
+    base = make_base_sorter(name, kernels="numpy")
+    fused = fused_kernel_for(base, array, ids)
+    assert fused is not None, f"no fused kernel for {name}"
+    fused(array, ids)
+    return (
+        array.peek_block_np(0, len(array)).tolist(),
+        ids.peek_block_np(0, len(ids)).tolist() if ids is not None else None,
+        stats.as_dict(),
+        ids_stats.as_dict(),
+    )
+
+
+class TestFusedMatchesGeneric:
+    @pytest.mark.parametrize("name", ["mergesort", "lsd3", "lsd6"])
+    @pytest.mark.parametrize("n", SHAPES)
+    def test_keys_only(self, name, n):
+        keys = uniform_keys(n, seed=n)
+        assert run_fused(name, keys, False) == run_generic(name, keys, False)
+
+    @pytest.mark.parametrize("name", ["mergesort", "lsd6"])
+    def test_with_ids(self, name):
+        keys = uniform_keys(257, seed=3)
+        assert run_fused(name, keys, True) == run_generic(name, keys, True)
+
+    def test_duplicate_keys_stable(self):
+        keys = [5, 1, 5, 1, 5, 1, 2] * 40
+        assert run_fused("mergesort", keys, True) == run_generic(
+            "mergesort", keys, True
+        )
+
+
+class TestGating:
+    def test_fused_exists_for_mergesort_and_lsd(self):
+        keys = PreciseArray(uniform_keys(32, seed=0))
+        for name in ("mergesort", "lsd3", "lsd6"):
+            base = make_base_sorter(name, kernels="numpy")
+            assert fused_kernel_for(base, keys, None) is not None
+
+    def test_no_fused_for_other_sorters(self):
+        keys = PreciseArray(uniform_keys(32, seed=0))
+        for name in ("msd6", "quicksort", "insertion", "natural_merge"):
+            base = make_base_sorter(name, kernels="numpy")
+            assert fused_kernel_for(base, keys, None) is None
+
+    def test_scalar_mode_disables_fusion(self):
+        keys = PreciseArray(uniform_keys(32, seed=0))
+        base = make_base_sorter("mergesort", kernels="scalar")
+        assert fused_kernel_for(base, keys, None) is None
+
+    def test_approx_memory_disables_fusion(self, pcm_sweet):
+        stats = MemoryStats()
+        keys = pcm_sweet.make_array(uniform_keys(32, seed=0), stats=stats)
+        base = make_base_sorter("mergesort", kernels="numpy")
+        assert fused_kernel_for(base, keys, None) is None
+
+    def test_trace_hook_disables_fusion(self):
+        keys = PreciseArray(uniform_keys(32, seed=0))
+        keys.trace = lambda *args: None
+        base = make_base_sorter("mergesort", kernels="numpy")
+        assert fused_kernel_for(base, keys, None) is None

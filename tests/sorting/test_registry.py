@@ -48,3 +48,76 @@ class TestRegistry:
     def test_unknown_name_rejected_with_listing(self):
         with pytest.raises(ValueError, match="unknown sorter"):
             make_sorter("bogosort")
+
+
+class TestShardedSpecs:
+    def test_sharded_spec_with_count(self):
+        from repro.parallel.sharded import ShardedSorter
+
+        sorter = make_sorter("sharded:mergesort:4")
+        assert isinstance(sorter, ShardedSorter)
+        assert sorter.shards == 4
+        assert isinstance(sorter.base, Mergesort)
+        assert sorter.name == "sharded:mergesort:4"
+
+    def test_sharded_spec_default_count(self):
+        from repro.parallel.sharded import ShardedSorter
+
+        sorter = make_sorter("sharded:lsd3")
+        assert isinstance(sorter, ShardedSorter)
+        assert isinstance(sorter.base, LSDRadixSort)
+        assert sorter.base.bits == 3
+
+    def test_sharded_spec_forwards_wrapper_kwargs(self):
+        sorter = make_sorter(
+            "sharded:quicksort", shards=5, partition="sample", min_n=8,
+            workers=0, seed=99,
+        )
+        assert sorter.shards == 5
+        assert sorter.partition == "sample"
+        assert sorter.min_n == 8
+        assert sorter.base.seed == 99
+
+    def test_bad_sharded_specs_rejected(self):
+        with pytest.raises(ValueError, match="shard count"):
+            make_sorter("sharded:mergesort:lots")
+        with pytest.raises(ValueError, match="sharded sorter spec"):
+            make_sorter("sharded:mergesort:4:extra")
+        with pytest.raises(ValueError, match="unknown sorter"):
+            make_sorter("sharded:bogosort")
+
+    def test_env_wraps_plain_names(self, monkeypatch):
+        from repro.parallel.sharded import ShardedSorter
+        from repro.sorting.registry import SHARDS_ENV
+
+        monkeypatch.setenv(SHARDS_ENV, "3")
+        sorter = make_sorter("mergesort")
+        assert isinstance(sorter, ShardedSorter)
+        assert sorter.shards == 3
+
+    def test_env_of_one_is_a_noop(self, monkeypatch):
+        from repro.sorting.registry import SHARDS_ENV
+
+        monkeypatch.setenv(SHARDS_ENV, "1")
+        assert isinstance(make_sorter("mergesort"), Mergesort)
+
+    def test_env_validated(self, monkeypatch):
+        from repro.sorting.registry import SHARDS_ENV
+
+        monkeypatch.setenv(SHARDS_ENV, "zero")
+        with pytest.raises(ValueError, match=SHARDS_ENV):
+            make_sorter("mergesort")
+        monkeypatch.setenv(SHARDS_ENV, "0")
+        with pytest.raises(ValueError, match=SHARDS_ENV):
+            make_sorter("mergesort")
+
+    def test_make_base_sorter_ignores_env(self, monkeypatch):
+        from repro.sorting.registry import SHARDS_ENV, make_base_sorter
+
+        monkeypatch.setenv(SHARDS_ENV, "4")
+        assert isinstance(make_base_sorter("mergesort"), Mergesort)
+
+    def test_available_sorters_lists_base_names_only(self):
+        assert not any(
+            name.startswith("sharded:") for name in available_sorters()
+        )

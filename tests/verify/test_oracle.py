@@ -180,3 +180,26 @@ class TestHelpers:
     def test_all_sorters_known_to_registry(self):
         # APPROX_KERNEL_EXACT must stay a subset of the live registry.
         assert APPROX_KERNEL_EXACT <= frozenset(available_sorters())
+
+
+class TestShardedSerialClass:
+    def test_registered_and_bit(self):
+        from repro.verify.oracle import BIT_CLASSES, EQUIVALENCE_CLASSES
+
+        assert "sharded_serial" in EQUIVALENCE_CLASSES
+        assert "sharded_serial" in BIT_CLASSES
+
+    @pytest.mark.parametrize("algorithm", ["lsd3", "quicksort"])
+    def test_passes_for_representative_sorters(self, algorithm):
+        result = run_case(
+            OracleCase(algorithm=algorithm, n=150),
+            classes=["sharded_serial"],
+        )
+        assert result.passed, [d.describe() for d in result.divergences]
+
+    def test_passes_on_degenerate_workload(self):
+        result = run_case(
+            OracleCase(algorithm="mergesort", workload="max_word", n=40),
+            classes=["sharded_serial"],
+        )
+        assert result.passed, [d.describe() for d in result.divergences]

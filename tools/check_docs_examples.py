@@ -111,8 +111,10 @@ def rewrite_shell(command: str) -> str | None:
     """Shrink a documented command to smoke size; None means skip it."""
     if command.startswith(SKIP_PREFIXES):
         return None
-    command = re.sub(r"--scale (default|large)", "--scale smoke", command)
-    command = re.sub(r"REPRO_SCALE=(default|large)", "REPRO_SCALE=smoke", command)
+    command = re.sub(r"--scale (default|large|paper)", "--scale smoke", command)
+    command = re.sub(
+        r"REPRO_SCALE=(default|large|paper)", "REPRO_SCALE=smoke", command
+    )
     # A full sweep is minutes even at smoke scale; two experiments prove
     # the flags work.
     command = re.sub(r"--all\b", "--exp fig02 --exp table3", command)
