@@ -1,0 +1,177 @@
+"""Segment layout and per-segment array views for the batch engine.
+
+A batch of B independent jobs lays its per-job arrays into *one*
+concatenated backing buffer per role (Key0, ID, Key~, finalKey, finalID)
+with a segment-offset table.  Each job then gets a zero-copy
+:class:`~repro.memory.InstrumentedArray` **view** of its slice
+(``copy=False`` buffer adoption, the same aliasing contract the
+``repro.parallel`` shard plan uses) carrying its *own*
+:class:`~repro.memory.stats.MemoryStats` — so the segmented kernels can
+advance every segment through one vectorized pass over the big buffer
+while accounting and corruption stay per-job, and the per-segment stats
+tile the batch aggregate exactly (:func:`tiled_aggregate`).
+
+Empty and singleton segments are first-class: a zero-length slice of a
+contiguous uint32 buffer is itself a valid contiguous buffer, so views
+exist for every job and the kernels simply have nothing to do for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.memory.approx_array import ApproxArray, InstrumentedArray, PreciseArray, _as_words
+from repro.memory.stats import MemoryStats
+
+
+@dataclass(frozen=True)
+class SegmentPlan:
+    """Offsets of B ragged segments inside one concatenated buffer."""
+
+    lengths: tuple[int, ...]
+    offsets: tuple[int, ...]  # len B+1, cumulative
+
+    @classmethod
+    def from_lengths(cls, lengths: Sequence[int]) -> "SegmentPlan":
+        offsets = [0]
+        for n in lengths:
+            if n < 0:
+                raise ValueError("segment lengths must be non-negative")
+            offsets.append(offsets[-1] + n)
+        return cls(lengths=tuple(lengths), offsets=tuple(offsets))
+
+    @property
+    def total(self) -> int:
+        return self.offsets[-1]
+
+    def __len__(self) -> int:
+        return len(self.lengths)
+
+    def bounds(self, j: int) -> tuple[int, int]:
+        return self.offsets[j], self.offsets[j + 1]
+
+    def active(self, min_len: int = 2) -> list[int]:
+        """Segment indices long enough to sort (default: the ``n >= 2``
+        segments — shorter ones are already sorted by definition, exactly
+        the early return of :meth:`repro.sorting.base.BaseSorter.sort`)."""
+        return [j for j, n in enumerate(self.lengths) if n >= min_len]
+
+
+def concat_segments(
+    keys_list: Sequence[Sequence[int]],
+) -> tuple[np.ndarray, SegmentPlan]:
+    """One contiguous uint32 buffer holding every job's keys, plus its plan.
+
+    Values are validated exactly like array construction (`_as_words`), so
+    an out-of-range key raises the same error batched as looped.
+    """
+    parts = [_as_words(keys) for keys in keys_list]
+    plan = SegmentPlan.from_lengths([part.size for part in parts])
+    if not parts:
+        return np.zeros(0, dtype=np.uint32), plan
+    return np.concatenate(parts).astype(np.uint32, copy=False), plan
+
+
+def identity_ids(plan: SegmentPlan) -> np.ndarray:
+    """Concatenated per-segment ``0..n_j-1`` ramps (the initial ID arrays)."""
+    if plan.total == 0:
+        return np.zeros(0, dtype=np.uint32)
+    ramp = np.arange(plan.total, dtype=np.uint32)
+    starts = np.repeat(
+        np.asarray(plan.offsets[:-1], dtype=np.uint32),
+        np.asarray(plan.lengths, dtype=np.int64),
+    )
+    return ramp - starts
+
+
+def precise_views(
+    buffer: np.ndarray,
+    plan: SegmentPlan,
+    stats_list: Sequence[MemoryStats],
+    name: str,
+) -> list[PreciseArray]:
+    """Per-segment :class:`PreciseArray` windows over ``buffer``."""
+    views = []
+    for j in range(len(plan)):
+        lo, hi = plan.bounds(j)
+        views.append(
+            PreciseArray(buffer[lo:hi], stats=stats_list[j], name=name, copy=False)
+        )
+    return views
+
+
+def approx_views(
+    buffer: np.ndarray,
+    plan: SegmentPlan,
+    memory,
+    stats_list: Sequence[MemoryStats],
+    seeds: Sequence[int],
+) -> list[ApproxArray]:
+    """Per-segment :class:`ApproxArray` windows over ``buffer``.
+
+    Each view is seeded with its job's own seed, so its three corruption
+    RNG streams are *exactly* those of the looped run's
+    ``memory.make_array(..., seed=seed_j)`` — per-job bit-identity of the
+    corruption draws is what makes batched == looped hold on approximate
+    memory too, not only on precise.
+    """
+    views = []
+    for j in range(len(plan)):
+        lo, hi = plan.bounds(j)
+        views.append(
+            ApproxArray(
+                buffer[lo:hi],
+                model=memory.model,
+                precise_iterations=memory.precise_iterations,
+                stats=stats_list[j],
+                seed=seeds[j],
+                name="approx-pcm",
+                copy=False,
+            )
+        )
+    return views
+
+
+def raw(array: InstrumentedArray) -> np.ndarray:
+    """The array's backing uint32 buffer, unaccounted (kernel-internal).
+
+    For views built by this module the buffer *is* the shared-segment
+    slice, so kernels read current contents and store final values without
+    phantom accounting; every accounted access is charged explicitly at
+    the call sites that mirror the looped execution's accesses.
+    """
+    return array._data
+
+
+def charge_reads(array: InstrumentedArray, count: int) -> None:
+    """Charge ``count`` reads of ``array`` without re-issuing them.
+
+    Region-aware (precise vs approximate counters); reads are
+    side-effect-free in every memory model here, so for values a segmented
+    kernel already holds this is observationally identical to the looped
+    path's real reads.
+    """
+    if count <= 0:
+        return
+    if array.region == "approx":
+        array.stats.record_approx_read(count)
+    else:
+        array.stats.record_precise_read(count)
+
+
+def tiled_aggregate(stats_list: Sequence[MemoryStats]) -> MemoryStats:
+    """Batch-aggregate stats: the in-order merge of the per-segment stats.
+
+    Integer counters sum exactly; the float ``approx_write_units`` field
+    accumulates in segment order, which is also the order a looped run's
+    per-job totals would be summed in — so the aggregate is bit-identical
+    to summing the looped per-job stats (checked by the ``batched_loop``
+    oracle class).
+    """
+    total = MemoryStats()
+    for stats in stats_list:
+        total.merge(stats)
+    return total

@@ -42,6 +42,12 @@ array file, ``BENCH_runner.json`` by default.
 (workers included), switching every sorter and refine call to the
 vectorized kernels; accounted counts are unchanged (DESIGN.md section 8).
 
+``--batch`` exports ``REPRO_BATCH=1``: experiments that declare a cell
+batcher (currently ``ext_variance``) coalesce their independent cells
+through the :mod:`repro.batch` segmented-sort engine — one vectorized
+kernel pass advances every cell — with per-cell results bit-identical to
+looped execution (DESIGN.md section 13, docs/batching.md).
+
 ``--sanitize`` exports ``REPRO_SANITIZE=1`` for the whole run: the
 pipelines wrap their arrays in the :mod:`repro.verify` runtime sanitizer,
 which re-checks bounds, accounting conservation and corruption-modeling
@@ -80,7 +86,7 @@ from pathlib import Path
 from typing import Callable, Optional
 
 from repro.errors import CheckpointCorruptError, ConfigError
-from repro.kernels import KERNEL_MODES, KERNELS_ENV, resolve_kernels
+from repro.kernels import BATCH_ENV, KERNEL_MODES, KERNELS_ENV, resolve_kernels
 from repro.obs import TRACE_DIR_ENV, close_tracer, get_tracer
 from repro.obs.io import merge_traces
 from repro.sorting.registry import SHARDS_ENV
@@ -573,6 +579,7 @@ def _serial_baseline(path: Path, record: dict) -> "dict | None":
             and candidate.get("kernels") == record.get("kernels")
             and candidate.get("jobs", 1) == 1
             and (candidate.get("shards") or 1) == 1
+            and not candidate.get("batch")
             and candidate.get("total_s")
         ):
             return candidate
@@ -680,6 +687,14 @@ def _build_parser() -> argparse.ArgumentParser:
         f" {KERNELS_ENV} environment variable, else scalar",
     )
     parser.add_argument(
+        "--batch", action="store_true",
+        help="coalesce an experiment's independent cells through the"
+        " repro.batch segmented-sort engine where the experiment supports"
+        f" it (exports {BATCH_ENV}=1; per-cell results are bit-identical"
+        " to looped execution; ignored under --sanitize/--trace/--shards,"
+        " which fall back to the looped pipeline)",
+    )
+    parser.add_argument(
         "--sanitize", action="store_true",
         help="run with the repro.verify runtime sanitizer: every array"
         " access is invariant-checked against a precise shadow copy"
@@ -740,6 +755,11 @@ def _main(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         # Same export pattern again: make_sorter() wraps every plain sorter
         # in a ShardedSorter, so experiments shard without any plumbing.
         os.environ[SHARDS_ENV] = str(args.shards)
+    if args.batch:
+        # Same export pattern: map_cells() checks it before handing an
+        # experiment's cells to its batcher (repro.batch gates itself off
+        # again under the sanitizer/tracer/shards).
+        os.environ[BATCH_ENV] = "1"
 
     if args.list:
         width = max(len(name) for name in EXPERIMENTS)
@@ -960,6 +980,7 @@ def _main(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
             "workers_effective": workers_effective,
             "shards": args.shards,
             "kernels": resolve_kernels(args.kernels),
+            "batch": bool(args.batch),
             "experiments": {name: round(t, 3) for name, t in timings.items()},
             "total_s": round(total, 3),
         }

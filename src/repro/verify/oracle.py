@@ -31,6 +31,14 @@ and compares everything observable:
     bit-identical keys, IDs, Rem~, and stats on both precise and
     approximate memory.  Sharded execution must be a pure performance
     decision, never an observable one.
+``batched_loop``
+    A ragged batch of jobs (including empty and singleton segments) run
+    through the :mod:`repro.batch` segmented engine vs job-by-job looped
+    execution — bit-identical per-job keys, IDs, Rem~, ``MemoryStats``
+    and per-stage stats on precise *and* approximate memory, plus the
+    tiling law: the per-segment stats must merge to exactly the sum of
+    the looped per-job stats.  Batching, like sharding, must be a pure
+    performance decision.
 
 Every divergence is reported as a :class:`Divergence` carrying the first
 differing element/counter and a replayable description of the case; the
@@ -469,6 +477,93 @@ def check_sharded_serial(case: OracleCase) -> list[Divergence]:
     return out
 
 
+def check_batched_loop(case: OracleCase) -> list[Divergence]:
+    """Batched segmented execution ≡ looped execution, bit for bit.
+
+    Builds a ragged batch around the case (full-size, singleton, empty and
+    tiny segments), runs it through :func:`repro.batch.run_batch` on both
+    precise and approximate memory, and compares every job's observables
+    against its looped run — including the per-stage stats and the tiling
+    of the per-segment stats into the batch aggregate.
+    """
+    from repro.batch import BatchJob, run_batch, tiled_aggregate
+
+    out: list[Divergence] = []
+    name = "batched_loop"
+    memory = memory_for(case.t)
+
+    def keys_for(n: int, seed: int) -> list[int]:
+        if n == 0:
+            return []
+        if case.workload in EXTRA_WORKLOADS:
+            return EXTRA_WORKLOADS[case.workload](n, seed)
+        return make_keys(case.workload, n, seed=seed)
+
+    lengths = (case.n, 1, 0, max(2, case.n // 2), 2, 3)
+    keys_list = [keys_for(n, case.seed + j) for j, n in enumerate(lengths)]
+
+    for lane in ("precise", "approx"):
+        jobs = [
+            BatchJob(
+                keys=keys, sorter=case.algorithm,
+                memory=None if lane == "precise" else memory,
+                seed=case.seed + 17 * j, kernels="numpy",
+            )
+            for j, keys in enumerate(keys_list)
+        ]
+        if lane == "precise":
+            looped = [
+                run_precise_baseline(job.keys, case.algorithm, kernels="numpy")
+                for job in jobs
+            ]
+        else:
+            looped = [
+                run_approx_refine(
+                    job.keys, case.algorithm, memory, seed=job.seed,
+                    kernels="numpy",
+                )
+                for job in jobs
+            ]
+        batched = run_batch(jobs)
+        for j, (want, got) in enumerate(zip(looped, batched)):
+            where = f"{lane}[{j}]"
+            _first_mismatch(out, name, f"{where}.final_keys",
+                            want.final_keys, got.final_keys)
+            _first_mismatch(out, name, f"{where}.final_ids",
+                            want.final_ids, got.final_ids)
+            _compare_stats(out, name, f"{where}.stats", want.stats, got.stats)
+            if lane == "approx":
+                if want.rem_tilde != got.rem_tilde:
+                    out.append(Divergence(
+                        name, f"{where}.rem_tilde", None,
+                        want.rem_tilde, got.rem_tilde,
+                    ))
+                for stage in want.stage_stats:
+                    if stage not in got.stage_stats:
+                        out.append(Divergence(
+                            name, f"{where}.stage_stats.{stage}", None,
+                            "present", "missing",
+                        ))
+                        break
+                    _compare_stats(
+                        out, name, f"{where}.stage_stats.{stage}",
+                        want.stage_stats[stage], got.stage_stats[stage],
+                    )
+                    if out:
+                        break
+            if out:
+                return out
+        aggregate = tiled_aggregate([result.stats for result in batched])
+        reference = MemoryStats()
+        for result in looped:
+            reference.merge(result.stats)
+        _compare_stats(out, name, f"{lane}.tiled_aggregate",
+                       reference, aggregate)
+        if out:
+            return out
+    return out
+
+
 #: Registry of equivalence classes.  ``bit`` classes are deterministic;
 #: ``scalar_numpy_approx`` is distributional for non-block-writers.
 EQUIVALENCE_CLASSES: dict[str, Callable[[OracleCase], list[Divergence]]] = {
@@ -477,6 +572,7 @@ EQUIVALENCE_CLASSES: dict[str, Callable[[OracleCase], list[Divergence]]] = {
     "traced_untraced": check_traced_untraced,
     "resumed_uninterrupted": check_resumed_uninterrupted,
     "sharded_serial": check_sharded_serial,
+    "batched_loop": check_batched_loop,
 }
 
 #: The deterministic subset (safe for tight CI gates and fuzz smoke).
@@ -485,6 +581,7 @@ BIT_CLASSES = (
     "traced_untraced",
     "resumed_uninterrupted",
     "sharded_serial",
+    "batched_loop",
 )
 
 

@@ -1,0 +1,52 @@
+"""The ``batched_loop`` oracle class: registration and representative runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify.oracle import (
+    BIT_CLASSES,
+    EQUIVALENCE_CLASSES,
+    OracleCase,
+    check_batched_loop,
+    run_case,
+)
+
+
+class TestBatchedLoopClass:
+    def test_registered_and_bit(self):
+        assert "batched_loop" in EQUIVALENCE_CLASSES
+        assert "batched_loop" in BIT_CLASSES
+
+    @pytest.mark.parametrize("algorithm", ["lsd6", "mergesort", "quicksort"])
+    def test_passes_for_representative_sorters(self, algorithm):
+        result = run_case(
+            OracleCase(algorithm=algorithm, n=120),
+            classes=["batched_loop"],
+        )
+        assert result.passed, [d.describe() for d in result.divergences]
+
+    def test_passes_on_degenerate_workload(self):
+        result = run_case(
+            OracleCase(algorithm="mergesort", workload="max_word", n=40),
+            classes=["batched_loop"],
+        )
+        assert result.passed, [d.describe() for d in result.divergences]
+
+    def test_detects_an_injected_divergence(self, monkeypatch):
+        # Corrupt the engine's analytic traffic helper: the oracle must
+        # localize the stats divergence rather than pass vacuously.
+        from repro.batch import segmented_kernels
+
+        real = segmented_kernels._precise_traffic.__wrapped__
+
+        def skewed(algorithm, n, bits):
+            reads, writes = real(algorithm, n, bits)
+            return reads + 1, writes
+
+        monkeypatch.setattr(
+            segmented_kernels, "_precise_traffic", skewed
+        )
+        divergences = check_batched_loop(OracleCase(algorithm="lsd6", n=60))
+        assert divergences
+        assert "stats" in divergences[0].field

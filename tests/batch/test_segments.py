@@ -1,0 +1,114 @@
+"""Segment layout unit tests: plans, buffers, views and stat tiling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.batch.segments import (
+    SegmentPlan,
+    charge_reads,
+    concat_segments,
+    identity_ids,
+    precise_views,
+    raw,
+    tiled_aggregate,
+)
+from repro.memory.approx_array import PreciseArray
+from repro.memory.stats import MemoryStats
+
+
+class TestSegmentPlan:
+    def test_from_lengths_cumulative_offsets(self):
+        plan = SegmentPlan.from_lengths([3, 0, 1, 4])
+        assert plan.offsets == (0, 3, 3, 4, 8)
+        assert plan.total == 8
+        assert len(plan) == 4
+        assert plan.bounds(1) == (3, 3)
+        assert plan.bounds(3) == (4, 8)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            SegmentPlan.from_lengths([2, -1])
+
+    def test_active_filters_trivially_sorted_segments(self):
+        plan = SegmentPlan.from_lengths([0, 1, 2, 5])
+        assert plan.active() == [2, 3]
+        assert plan.active(min_len=1) == [1, 2, 3]
+
+    def test_empty_plan(self):
+        plan = SegmentPlan.from_lengths([])
+        assert plan.total == 0
+        assert len(plan) == 0
+
+
+class TestConcatSegments:
+    def test_layout_matches_plan(self):
+        buffer, plan = concat_segments([[5, 1], [], [9], [2, 2, 2]])
+        assert plan.lengths == (2, 0, 1, 3)
+        assert buffer.dtype == np.uint32
+        assert buffer.tolist() == [5, 1, 9, 2, 2, 2]
+
+    def test_empty_batch(self):
+        buffer, plan = concat_segments([])
+        assert buffer.size == 0
+        assert plan.total == 0
+
+    def test_out_of_range_key_rejected_like_arrays(self):
+        with pytest.raises(ValueError):
+            concat_segments([[1, 2], [2**32]])
+
+    def test_accepts_numpy_inputs(self):
+        buffer, plan = concat_segments(
+            [np.asarray([3, 1], dtype=np.uint32), [7]]
+        )
+        assert buffer.tolist() == [3, 1, 7]
+        assert plan.lengths == (2, 1)
+
+
+class TestViews:
+    def test_identity_ids_per_segment_ramps(self):
+        plan = SegmentPlan.from_lengths([3, 0, 2])
+        assert identity_ids(plan).tolist() == [0, 1, 2, 0, 1]
+
+    def test_views_alias_the_buffer(self):
+        buffer, plan = concat_segments([[4, 3], [8, 7, 6]])
+        stats = [MemoryStats() for _ in range(2)]
+        views = precise_views(buffer, plan, stats, "Key")
+        assert isinstance(views[0], PreciseArray)
+        raw(views[1])[0] = 99
+        assert buffer.tolist() == [4, 3, 99, 7, 6]
+        assert views[1].peek_block_np(0, 3).tolist() == [99, 7, 6]
+
+    def test_views_carry_per_segment_stats(self):
+        buffer, plan = concat_segments([[4, 3], [8, 7, 6]])
+        stats = [MemoryStats() for _ in range(2)]
+        views = precise_views(buffer, plan, stats, "Key")
+        views[0].read_block(0, 2)
+        assert stats[0].precise_reads == 2
+        assert stats[1].precise_reads == 0
+
+    def test_charge_reads_routes_by_region(self):
+        buffer, plan = concat_segments([[1, 2]])
+        stats = [MemoryStats()]
+        view = precise_views(buffer, plan, stats, "Key")[0]
+        charge_reads(view, 5)
+        charge_reads(view, 0)
+        charge_reads(view, -3)
+        assert stats[0].precise_reads == 5
+        assert stats[0].approx_reads == 0
+
+
+class TestTiledAggregate:
+    def test_matches_in_order_merge(self):
+        parts = []
+        for i in range(3):
+            stats = MemoryStats()
+            stats.record_precise_read(i + 1)
+            stats.record_approx_write(0.1 * (i + 1), corrupted=bool(i))
+            parts.append(stats)
+        total = tiled_aggregate(parts)
+        reference = MemoryStats()
+        for stats in parts:
+            reference.merge(stats)
+        assert total.as_dict() == reference.as_dict()

@@ -131,6 +131,12 @@ def rewrite_shell(command: str) -> str | None:
         lambda m: f"python {REPO_ROOT / 'examples' / m.group(1)} 2000",
         command,
     )
+    # Tool scripts live in the repo too; they read the repo's BENCH files.
+    command = re.sub(
+        r"python tools/(\w+\.py)",
+        lambda m: f"python {REPO_ROOT / 'tools' / m.group(1)}",
+        command,
+    )
     return command
 
 
