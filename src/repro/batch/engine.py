@@ -19,14 +19,19 @@ Contracts (tested in ``tests/batch`` and by the ``batched_loop`` oracle):
 Algorithms without a segmented kernel (the recursive/value-dependent
 sorters) run per-segment inside the engine with fresh per-job sorter
 instances — same results, no cross-pass amortization.  Runs under the
-sanitizer, an enabled tracer, or ``REPRO_SHARDS`` fall back to the looped
-pipeline entirely: those observers are calibrated against the looped
-access pattern.
+sanitizer or ``REPRO_SHARDS`` fall back to the looped pipeline entirely:
+those observers are calibrated against the looped access pattern.  An
+enabled tracer does **not** stand the engine down: the engine synthesizes
+per-segment ``batch.segment`` spans from its per-job stats after the
+vectorized passes (tiling the ``batch.run`` aggregate bit-exactly — the
+``batch_span_tiling`` oracle class), so traced runs measure the same fast
+path they observe.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -39,7 +44,8 @@ from repro.kernels import resolve_kernels
 from repro.memory.approx_array import ApproxArray
 from repro.memory.stats import MemoryStats
 from repro.metrics.sortedness import rem_ratio
-from repro.obs import get_tracer
+from repro.obs import get_metrics, get_tracer
+from repro.obs.tracer import stats_to_dict
 from repro.sorting.registry import SHARDS_ENV, make_base_sorter
 from repro.verify import sanitizing
 
@@ -91,12 +97,14 @@ def _env_shards() -> int:
 def _needs_looped_run() -> bool:
     """Process-wide conditions under which the engine defers to the loop.
 
-    The sanitizer shadows and the tracer's event stream are calibrated
-    against the looped access pattern; sharded sorters bring their own
-    fan-out.  All three fall back to per-job looped execution — slower,
-    identical results.
+    The sanitizer shadows are calibrated against the looped access
+    pattern; sharded sorters bring their own fan-out.  Both fall back to
+    per-job looped execution — slower, identical results.  An enabled
+    tracer is *not* a fallback condition: traced batches stay on the
+    vectorized path and synthesize their span stream afterwards
+    (:func:`_emit_batch_spans`).
     """
-    return sanitizing() or get_tracer().enabled or _env_shards() >= 2
+    return sanitizing() or _env_shards() >= 2
 
 
 def _memory_batchable(memory) -> bool:
@@ -121,10 +129,14 @@ def _run_one(job: BatchJob):
 def run_batch(jobs: Sequence[BatchJob]) -> list:
     """Execute every job, batched where possible; results in job order."""
     results: list = [None] * len(jobs)
+    tracer = get_tracer()
+    metrics = get_metrics()
     looped = _needs_looped_run()
     groups: dict[tuple, list[int]] = {}
     for i, job in enumerate(jobs):
         if not isinstance(job.sorter, str) or job.sorter.startswith("sharded:"):
+            if metrics.enabled:
+                metrics.inc("batch.fallback", reason="sorter")
             results[i] = _run_one(job)
             continue
         key = (job.sorter, job.kernels, id(job.memory) if job.memory is not None else None)
@@ -134,23 +146,98 @@ def run_batch(jobs: Sequence[BatchJob]) -> list:
         if looped or (
             first.memory is not None and not _memory_batchable(first.memory)
         ):
+            if metrics.enabled:
+                reason = (
+                    ("sanitize" if sanitizing() else "shards")
+                    if looped else "memory"
+                )
+                metrics.inc("batch.fallback", value=len(indices),
+                            reason=reason)
             for i in indices:
                 results[i] = _run_one(jobs[i])
-        elif first.memory is None:
+            continue
+        t0 = time.perf_counter()
+        if first.memory is None:
+            lane = "precise"
             batch = run_precise_sort_batch(
                 [jobs[i].keys for i in indices], first.sorter,
                 kernels=first.kernels,
             )
-            for i, result in zip(indices, batch):
-                results[i] = result
         else:
+            lane = "approx"
             batch = run_approx_refine_batch(
                 [jobs[i].keys for i in indices], first.sorter, first.memory,
                 seeds=[jobs[i].seed for i in indices], kernels=first.kernels,
             )
-            for i, result in zip(indices, batch):
-                results[i] = result
+        wall_s = time.perf_counter() - t0
+        for i, result in zip(indices, batch):
+            results[i] = result
+        if metrics.enabled:
+            metrics.inc("batch.groups")
+            metrics.inc("batch.jobs_coalesced", value=len(indices))
+            metrics.observe("batch.segments_per_group", len(indices),
+                            lane=lane)
+        if tracer.enabled:
+            _emit_batch_spans(
+                tracer, first.sorter, first.kernels, lane, batch, wall_s
+            )
     return results
+
+
+def _emit_batch_spans(
+    tracer, name: str, kernels: Optional[str], lane: str,
+    results: Sequence, wall_s: float,
+) -> None:
+    """Synthesize the span stream for one executed batch group.
+
+    The vectorized passes advance all segments per pass, so there is no
+    real per-job region to trace.  Instead the engine replays its per-job
+    stats into a well-formed chain after the fact: one ``batch.run`` span
+    carrying the group aggregate, and one ``batch.segment`` child per job
+    whose ``cum_start``/``cum`` counters chain verbatim — adjacent
+    segments tile the aggregate by pure dict equality, exactly the
+    contract real nested spans satisfy (verified by the
+    ``batch_span_tiling`` oracle class and ``report --check``).
+
+    Each segment's ``stats`` field is recomputed as ``cum - cum_start``
+    (not copied from the per-job stats), so the report's exactness check
+    holds bit-for-bit even for the one float field, where re-summation
+    can differ in the last ulp.  Wall-clock has no per-job measurement
+    either; it is apportioned by segment length.
+    """
+    parent = tracer.current_span
+    run_id = tracer.allocate_span_id()
+    run_attrs = {"algo": name, "kernels": kernels, "lane": lane,
+                 "jobs": len(results)}
+    tracer.emit({"ev": "span_start", "id": run_id, "parent": parent,
+                 "name": "batch.run", "attrs": run_attrs})
+    total_n = sum(result.n for result in results)
+    zero = stats_to_dict(MemoryStats())
+    cum = dict(zero)
+    for result in results:
+        segment_id = tracer.allocate_span_id()
+        attrs = {"algo": name, "n": result.n, "lane": lane}
+        tracer.emit({"ev": "span_start", "id": segment_id, "parent": run_id,
+                     "name": "batch.segment", "attrs": attrs})
+        cum_start = cum
+        job_stats = stats_to_dict(result.stats)
+        cum = {
+            field: cum_start[field] + job_stats[field] for field in cum_start
+        }
+        delta = {field: cum[field] - cum_start[field] for field in cum}
+        share = (
+            wall_s * (result.n / total_n) if total_n
+            else wall_s / len(results)
+        )
+        tracer.emit({"ev": "span_end", "id": segment_id, "parent": run_id,
+                     "name": "batch.segment", "wall_s": share,
+                     "stats": delta, "cum_start": cum_start, "cum": cum,
+                     "attrs": attrs})
+    run_delta = {field: cum[field] - zero[field] for field in cum}
+    tracer.emit({"ev": "span_end", "id": run_id, "parent": parent,
+                 "name": "batch.run", "wall_s": wall_s,
+                 "stats": run_delta, "cum_start": zero, "cum": dict(cum),
+                 "attrs": run_attrs})
 
 
 class _StageWindows:

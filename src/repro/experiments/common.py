@@ -172,6 +172,13 @@ class Heartbeat:
     disables the thread entirely.  Call :meth:`start` only *after*
     submitting work to a process pool — forking a process that already
     carries threads is best avoided (and deprecated on newer Pythons).
+
+    :meth:`advance` counts completed top-level units (experiments);
+    :meth:`set_detail` carries finer-grained in-flight progress — the
+    runner installs its heartbeat via :func:`set_current_heartbeat` so
+    :func:`map_cells` can report per-cell progress of the experiment it
+    is fanning, turning ``3/12 done`` into ``3/12 done (fig09: 40/96
+    cells)`` on long runs.
     """
 
     def __init__(
@@ -183,6 +190,7 @@ class Heartbeat:
         self.total = total
         self.interval = interval
         self._done = 0
+        self._detail = ""
         self._stop = threading.Event()
         self._thread: "threading.Thread | None" = None
         self._t0 = time.perf_counter()
@@ -198,20 +206,48 @@ class Heartbeat:
     def _beat(self) -> None:
         while not self._stop.wait(self.interval):
             elapsed = time.perf_counter() - self._t0
+            detail = f" ({self._detail})" if self._detail else ""
             print(
                 f"[heartbeat] {self.label}: {self._done}/{self.total} done"
-                f" after {elapsed:.0f}s",
+                f" after {elapsed:.0f}s{detail}",
                 file=sys.stderr, flush=True,
             )
 
     def advance(self, n: int = 1) -> None:
         self._done += n
+        # A finished unit invalidates any finer-grained detail under it.
+        self._detail = ""
+
+    def set_detail(self, text: str) -> None:
+        """In-flight progress shown in parentheses on the next beat line."""
+        self._detail = text
 
     def stop(self) -> None:
         self._stop.set()
         if self._thread is not None:
             self._thread.join()
             self._thread = None
+
+
+#: The heartbeat of the run currently in flight, when execution happens in
+#: this process (the runner's unsupervised path); ``None`` otherwise.  A
+#: supervised attempt runs in a forked child and cannot reach the parent's
+#: heartbeat — there the per-experiment granularity stands.
+_CURRENT_HEARTBEAT: "Heartbeat | None" = None
+
+
+def set_current_heartbeat(
+    heartbeat: "Heartbeat | None",
+) -> "Heartbeat | None":
+    """Install the process-wide heartbeat; returns the previous one."""
+    global _CURRENT_HEARTBEAT
+    previous = _CURRENT_HEARTBEAT
+    _CURRENT_HEARTBEAT = heartbeat
+    return previous
+
+
+def current_heartbeat() -> "Heartbeat | None":
+    return _CURRENT_HEARTBEAT
 
 
 def map_cells(
@@ -241,6 +277,8 @@ def map_cells(
     contract keeps the table identical to the looped run.
     """
     results: list = [None] * len(cells)
+    heartbeat = current_heartbeat()
+    total = len(cells)
     if journal is not None:
         restored = journal.load(cells)
         todo = [i for i in range(len(cells)) if i not in restored]
@@ -248,23 +286,37 @@ def map_cells(
             results[i] = value
     else:
         todo = list(range(len(cells)))
+    completed = total - len(todo)
+
+    def _cell_done() -> None:
+        # Per-cell heartbeat granularity: a long fan-out reports inside its
+        # experiment instead of sitting silent until the whole table lands.
+        nonlocal completed
+        completed += 1
+        if heartbeat is not None:
+            heartbeat.set_detail(f"{completed}/{total} cells")
+
     if not todo:
         return results
     if batcher is not None and jobs <= 1 and len(todo) > 1:
         from repro.kernels import batching_enabled
 
         if batching_enabled():
+            if heartbeat is not None:
+                heartbeat.set_detail(f"batching {len(todo)} cells")
             batch_values = batcher([cells[i] for i in todo])
             for i, value in zip(todo, batch_values):
                 results[i] = value
                 if journal is not None:
                     journal.record(i, cells[i], value)
+                _cell_done()
             return results
     if jobs <= 1 or len(todo) <= 1:
         for i in todo:
             results[i] = fn(*cells[i])
             if journal is not None:
                 journal.record(i, cells[i], results[i])
+            _cell_done()
         return results
     from concurrent.futures import ProcessPoolExecutor, as_completed
 
@@ -277,6 +329,7 @@ def map_cells(
             results[i] = future.result()
             if journal is not None:
                 journal.record(i, cells[i], results[i])
+            _cell_done()
     return results
 
 
@@ -359,6 +412,13 @@ def maybe_inject_fault(name: str) -> None:
             path.parent.mkdir(parents=True, exist_ok=True)
             with open(path, "ab") as sink:
                 sink.write(b"x")
+        # The flight ring's whole reason to exist: the dying process writes
+        # its own post-mortem (when REPRO_FLIGHT_DIR arms dumping) before
+        # os._exit skips every other teardown path.
+        from repro.obs.flight import dump_flight, get_flight
+
+        get_flight().record("fault_injected", name, fault=kind)
+        dump_flight(f"fault-{kind}:{name}")
         if kind == "crash":
             print(
                 f"[fault] injected crash in {name} (pid {os.getpid()})",

@@ -59,14 +59,26 @@ slower (docs/verifying.md).
 every process of the run appends span/counter/gauge events to its own
 per-pid JSONL file, and the runner merges them into ``PATH`` (default
 ``trace.jsonl``) when the run finishes.  Analyze with ``python -m
-repro.obs.report PATH``.  ``--profile`` additionally runs each experiment
-under :mod:`cProfile`, dumping ``<name>.prof`` next to the trace.  Resumes
-and retries are traced too: a ``run.resume`` span plus ``run.restored``,
-``run.retry`` and ``run.experiment_failed`` counters.
+repro.obs.report PATH``.  A per-run id (``REPRO_TRACE_RUN``) is exported
+alongside the trace directory so pooled shard workers can stamp
+cross-process parent links into their part files.  ``--profile``
+additionally runs each experiment under :mod:`cProfile`, dumping
+``<name>.prof`` next to the trace.  Resumes and retries are traced too: a
+``run.resume`` span plus ``run.restored``, ``run.retry`` and
+``run.experiment_failed`` counters.
+
+``--metrics [PATH]`` turns on the metrics registry (docs/observability.md):
+every process records counters/gauges/latency histograms and exports
+periodic snapshots to its own per-pid JSONL file; the runner concatenates
+them into ``PATH`` (default ``metrics.jsonl``) and writes a
+Prometheus-style text exposition of the cross-process aggregate next to it
+(``PATH`` with a ``.prom`` suffix).  Analyze with ``python -m
+repro.obs.report --metrics PATH``.
 
 ``--quiet`` suppresses the result tables (timing lines still print);
 ``--heartbeat S`` prints a progress line to stderr every ``S`` seconds
-(default 30, ``0`` disables).
+(default 30, ``0`` disables), with per-cell detail while a cell-parallel
+experiment fans in-process.
 """
 
 from __future__ import annotations
@@ -79,6 +91,7 @@ import os
 import signal
 import sys
 import time
+import uuid
 from dataclasses import dataclass
 from datetime import datetime, timezone
 from multiprocessing.connection import Connection, wait as _mp_wait
@@ -87,8 +100,22 @@ from typing import Callable, Optional
 
 from repro.errors import CheckpointCorruptError, ConfigError
 from repro.kernels import BATCH_ENV, KERNEL_MODES, KERNELS_ENV, resolve_kernels
-from repro.obs import TRACE_DIR_ENV, close_tracer, get_tracer
+from repro.obs import (
+    METRICS_DIR_ENV,
+    TRACE_DIR_ENV,
+    TRACE_RUN_ENV,
+    close_metrics,
+    close_tracer,
+    get_metrics,
+    get_tracer,
+)
+from repro.obs.flight import dump_flight, get_flight
 from repro.obs.io import merge_traces
+from repro.obs.metrics import (
+    aggregate_snapshots,
+    read_snapshots,
+    snapshot_to_prometheus,
+)
 from repro.sorting.registry import SHARDS_ENV
 from repro.verify import SANITIZE_ENV
 
@@ -99,6 +126,7 @@ from .common import (
     SCALES,
     maybe_inject_fault,
     resolve_scale,
+    set_current_heartbeat,
 )
 
 from . import (
@@ -183,6 +211,7 @@ def _run_single(
     cell_journal_path: str | None = None,
 ) -> tuple[str, ExperimentTable, float]:
     """Run one experiment and time it (module-level so it pickles)."""
+    get_flight().record("experiment_start", name, seed=seed, jobs=jobs)
     maybe_inject_fault(name)
     kwargs: dict = {}
     if jobs > 1 and name in CELL_PARALLEL:
@@ -204,6 +233,10 @@ def _run_single(
     ):
         table = EXPERIMENTS[name](scale=scale, seed=seed, **kwargs)
     elapsed = time.perf_counter() - start
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.observe("runner.experiment_s", elapsed, experiment=name)
+    get_flight().record("experiment_done", name, elapsed_s=elapsed)
     if profiler is not None:
         profiler.disable()
         profiler.dump_stats(str(Path(profile_dir) / f"{name}.prof"))
@@ -465,7 +498,16 @@ class _Supervisor:
         return None
 
     def _kill(self, job: _Job) -> None:
-        """SIGKILL the attempt's whole process group (grandchildren too)."""
+        """SIGKILL the attempt's whole process group (grandchildren too).
+
+        SIGKILL gives the child no chance to write its own post-mortem, so
+        the supervisor dumps *its* flight ring — which holds the attempt
+        history leading up to the kill — on the child's behalf.
+        """
+        get_flight().record(
+            "sigkill", job.name, attempt=job.attempt, pid=job.process.pid
+        )
+        dump_flight(f"sigkill:{job.name}")
         process = job.process
         try:
             os.killpg(process.pid, signal.SIGKILL)
@@ -494,6 +536,14 @@ class _Supervisor:
             reason = str(payload)
         else:
             reason = f"crashed (exit code {exitcode})"
+        get_flight().record(
+            "attempt_failed", job.name, outcome=kind, attempt=job.attempt,
+            reason=reason,
+        )
+        if kind == "crash":
+            # A crashed child took the no-cleanup exit; leave a parent-side
+            # post-mortem next to whatever the child managed to dump.
+            dump_flight(f"crash:{job.name}")
         if job.attempt <= self.retries:
             delay = self.backoff * (2 ** (job.attempt - 1))
             get_tracer().counter(
@@ -691,8 +741,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help="coalesce an experiment's independent cells through the"
         " repro.batch segmented-sort engine where the experiment supports"
         f" it (exports {BATCH_ENV}=1; per-cell results are bit-identical"
-        " to looped execution; ignored under --sanitize/--trace/--shards,"
-        " which fall back to the looped pipeline)",
+        " to looped execution; ignored under --sanitize/--shards, which"
+        " fall back to the looped pipeline — traced runs stay batched and"
+        " synthesize per-segment spans)",
     )
     parser.add_argument(
         "--sanitize", action="store_true",
@@ -707,6 +758,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write structured span/counter/gauge events; per-process"
         " part files are merged into PATH (default: trace.jsonl) when"
         " the run finishes",
+    )
+    parser.add_argument(
+        "--metrics", nargs="?", const="metrics.jsonl", default=None,
+        metavar="PATH",
+        help="record counters/gauges/latency histograms (exact p50/p95/"
+        "p99); per-process snapshot files are merged into PATH (default:"
+        " metrics.jsonl) and a Prometheus-style exposition is written"
+        " next to it when the run finishes",
     )
     parser.add_argument(
         "--profile", action="store_true",
@@ -786,14 +845,29 @@ def _main(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
 
     # Tracing: every process (this one and fork-inherited workers) appends
     # to its own per-pid file in the parts directory; merged afterwards.
+    # The run id travels the same way, so pooled workers can stamp
+    # cross-process parent attrs that the merged report can trust.
     trace_path = Path(args.trace) if args.trace is not None else None
     saved_trace_env = os.environ.get(TRACE_DIR_ENV)
+    saved_run_env = os.environ.get(TRACE_RUN_ENV)
     parts_dir = None
     if trace_path is not None:
         parts_dir = Path(str(trace_path) + ".parts")
         parts_dir.mkdir(parents=True, exist_ok=True)
         os.environ[TRACE_DIR_ENV] = str(parts_dir)
+        os.environ[TRACE_RUN_ENV] = uuid.uuid4().hex[:12]
         close_tracer()  # lazy re-init picks up the new directory
+
+    # Metrics mirror the trace plumbing: per-pid snapshot files in a parts
+    # directory, concatenated (plus an aggregate exposition) afterwards.
+    metrics_path = Path(args.metrics) if args.metrics is not None else None
+    saved_metrics_env = os.environ.get(METRICS_DIR_ENV)
+    metrics_parts_dir = None
+    if metrics_path is not None:
+        metrics_parts_dir = Path(str(metrics_path) + ".parts")
+        metrics_parts_dir.mkdir(parents=True, exist_ok=True)
+        os.environ[METRICS_DIR_ENV] = str(metrics_parts_dir)
+        close_metrics()  # lazy re-init picks up the new directory
     profile_dir = None
     if args.profile:
         profile_dir = str(trace_path.parent) if trace_path is not None else "."
@@ -880,6 +954,9 @@ def _main(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         heartbeat = Heartbeat(
             "experiments", len(names), interval=args.heartbeat
         )
+        # Installed process-wide so an in-process map_cells fan-out can
+        # report per-cell progress through this heartbeat's detail field.
+        set_current_heartbeat(heartbeat)
         emitter = _OrderedEmitter(names, args, timings, heartbeat)
         for name, (table, elapsed) in restored.items():
             emitter.ready(name, table, elapsed, restored=True)
@@ -934,6 +1011,7 @@ def _main(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
                 )
             raise
         finally:
+            set_current_heartbeat(None)
             heartbeat.stop()
         if checkpoint is not None:
             checkpoint.journal_event(
@@ -949,6 +1027,10 @@ def _main(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
                 os.environ.pop(TRACE_DIR_ENV, None)
             else:
                 os.environ[TRACE_DIR_ENV] = saved_trace_env
+            if saved_run_env is None:
+                os.environ.pop(TRACE_RUN_ENV, None)
+            else:
+                os.environ[TRACE_RUN_ENV] = saved_run_env
             parts = sorted(parts_dir.glob("trace-*.jsonl"))
             count = merge_traces(parts, trace_path)
             for part in parts:
@@ -958,6 +1040,35 @@ def _main(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
             except OSError:
                 pass  # foreign files in the parts dir: leave it
             print(f"merged {count} trace events into {trace_path}")
+        if metrics_path is not None:
+            close_metrics()  # final snapshot for this process
+            if saved_metrics_env is None:
+                os.environ.pop(METRICS_DIR_ENV, None)
+            else:
+                os.environ[METRICS_DIR_ENV] = saved_metrics_env
+            metric_parts = sorted(
+                metrics_parts_dir.glob("metrics-*.jsonl")
+            )
+            snapshots = read_snapshots(metric_parts)
+            with open(metrics_path, "w", encoding="utf-8") as out:
+                for snapshot in snapshots:
+                    out.write(
+                        json.dumps(snapshot, separators=(",", ":")) + "\n"
+                    )
+            exposition = metrics_path.with_suffix(".prom")
+            exposition.write_text(
+                snapshot_to_prometheus(aggregate_snapshots(snapshots))
+            )
+            for part in metric_parts:
+                part.unlink()
+            try:
+                metrics_parts_dir.rmdir()
+            except OSError:
+                pass  # foreign files in the parts dir: leave it
+            print(
+                f"merged {len(snapshots)} metric snapshots into"
+                f" {metrics_path} (exposition: {exposition})"
+            )
     total = time.perf_counter() - wall_start
 
     if args.bench_json is not None:

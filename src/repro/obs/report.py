@@ -5,6 +5,7 @@ Usage::
     python -m repro.obs.report trace.jsonl [more.jsonl ...]
     python -m repro.obs.report trace.jsonl --format markdown
     python -m repro.obs.report trace.jsonl --check          # validate too
+    python -m repro.obs.report --metrics metrics.jsonl [--check]
 
 Sections (any of which may be empty for a given trace):
 
@@ -15,14 +16,27 @@ Sections (any of which may be empty for a given trace):
   Listing-1/2 steps).
 * **kernels** — scalar-vs-numpy wall-clock comparison of ``sort.*`` spans.
 * **counters / gauges** — e.g. the sorters' per-depth rollups and the
-  pcmsim per-bank queue-depth gauges.
+  pcmsim per-bank queue-depth gauges, with nearest-rank percentiles over
+  the gauge samples.
+
+Spans emitted by pooled workers carry ``trace_parent_pid``/
+``trace_parent_span`` attrs (stamped by :mod:`repro.parallel.sharded`);
+the report adopts those as cross-process parent links, so a merged trace
+rolls worker spans up under the dispatching span.
 
 ``--check`` validates every event against the schema
 (:mod:`repro.obs.schema`) and verifies the exactness invariants: each
-span's ``stats`` delta equals ``cum - cum_start`` field by field, and the
-stage spans of every ``approx_refine`` run tile their parent — adjacent
-``cum``/``cum_start`` payloads are equal verbatim, so the per-phase TEPMW
-sums match the run's aggregate ``MemoryStats`` exactly, not approximately.
+span's ``stats`` delta equals ``cum - cum_start`` field by field, the
+stage spans of every ``approx_refine`` run tile their parent, and the
+``batch.segment`` spans of every ``batch.run`` tile *their* parent —
+adjacent ``cum``/``cum_start`` payloads are equal verbatim, so per-phase
+(or per-segment) TEPMW sums match the aggregate exactly, not
+approximately.
+
+``--metrics PATH`` switches the input to metric snapshot JSONL files
+(written by the runner's ``--metrics`` flag): the report shows the
+cross-process counter/gauge/histogram rollup with exact p50/p95/p99 where
+samples were retained.
 """
 
 from __future__ import annotations
@@ -35,6 +49,8 @@ from typing import Optional
 from repro.core.report import STAGES
 
 from .io import read_traces
+from .metrics import aggregate_snapshots, percentile, read_snapshots, \
+    validate_snapshot
 from .schema import validate_events
 from .tracer import STATS_FIELDS
 
@@ -74,11 +90,18 @@ def build_report(events: list[dict]) -> dict:
     """Aggregate decoded events into the report sections."""
     span_ends = [e for e in events if e.get("ev") == "span_end"]
     children: dict[tuple[int, int], list[dict]] = {}
+    cross_process_children = 0
     for event in span_ends:
         if event.get("parent") is not None:
             children.setdefault((event["pid"], event["parent"]), []).append(
                 event
             )
+        attrs = event.get("attrs") or {}
+        parent_pid = attrs.get("trace_parent_pid")
+        parent_span = attrs.get("trace_parent_span")
+        if parent_pid is not None and parent_span is not None:
+            children.setdefault((parent_pid, parent_span), []).append(event)
+            cross_process_children += 1
 
     # -- spans by name ------------------------------------------------- #
     spans: dict[str, dict] = {}
@@ -167,15 +190,22 @@ def build_report(events: list[dict]) -> dict:
             row = gauges.setdefault(
                 event["name"],
                 {"name": event["name"], "events": 0,
-                 "min": event["value"], "max": event["value"]},
+                 "min": event["value"], "max": event["value"],
+                 "values": []},
             )
             row["events"] += 1
             row["min"] = min(row["min"], event["value"])
             row["max"] = max(row["max"], event["value"])
+            row["values"].append(event["value"])
+    for row in gauges.values():
+        values = sorted(row.pop("values"))
+        for q, label in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+            row[label] = percentile(values, q)
 
     return {
         "events": len(events),
         "processes": len({e["pid"] for e in events if "pid" in e}),
+        "cross_process_children": cross_process_children,
         "spans": sorted(spans.values(), key=lambda r: r["name"]),
         "breakdown": sorted(
             breakdown.values(), key=lambda r: r["algorithm"]
@@ -245,6 +275,47 @@ def check_events(events: list[dict]) -> list[str]:
                 )
         if stages[-1]["cum"] != run["cum"]:
             problems.append(f"{label}: last stage does not end at parent")
+
+    # batch.segment spans must likewise tile their batch.run parent.  Both
+    # are synthesized from replayed per-job stats (repro.batch.engine), so
+    # the chain is required to be verbatim-exact as well.
+    for run in span_ends:
+        if run["name"] != "batch.run" or run.get("stats") is None:
+            continue
+        segments = sorted(
+            (
+                e for e in span_ends
+                if e["pid"] == run["pid"] and e.get("parent") == run["id"]
+                and e["name"] == "batch.segment"
+                and e.get("stats") is not None
+            ),
+            key=lambda e: e["id"],
+        )
+        attrs = run.get("attrs") or {}
+        label = (
+            f"batch.run (pid {run['pid']}, id {run['id']},"
+            f" {attrs.get('algo', '?')})"
+        )
+        if not segments:
+            problems.append(f"{label}: no batch.segment children")
+            continue
+        jobs = attrs.get("jobs")
+        if jobs is not None and len(segments) != jobs:
+            problems.append(
+                f"{label}: {len(segments)} segments != {jobs} jobs"
+            )
+        if segments[0]["cum_start"] != run["cum_start"]:
+            problems.append(
+                f"{label}: first segment does not start at parent"
+            )
+        for before, after in zip(segments, segments[1:]):
+            if after["cum_start"] != before["cum"]:
+                problems.append(
+                    f"{label}: gap between segment id {before['id']} and"
+                    f" id {after['id']}"
+                )
+        if segments[-1]["cum"] != run["cum"]:
+            problems.append(f"{label}: last segment does not end at parent")
     return problems
 
 
@@ -261,7 +332,16 @@ _SECTIONS = (
     ("kernels", "Kernel comparison (sort.* spans)",
      ["algo", "scalar_runs", "scalar_s", "numpy_runs", "numpy_s", "speedup"]),
     ("counters", "Counters", ["name", "events", "total"]),
-    ("gauges", "Gauges", ["name", "events", "min", "max"]),
+    ("gauges", "Gauges",
+     ["name", "events", "min", "max", "p50", "p95", "p99"]),
+)
+
+_METRICS_SECTIONS = (
+    ("counters", "Counters", ["name", "labels", "value"]),
+    ("gauges", "Gauges",
+     ["name", "labels", "value", "min", "max", "updates"]),
+    ("histograms", "Histograms",
+     ["name", "labels", "count", "sum", "p50", "p95", "p99", "exact"]),
 )
 
 
@@ -304,20 +384,78 @@ def render(report: dict, fmt: str = "text") -> str:
     return "\n".join(lines)
 
 
+def _labels_str(labels: dict) -> str:
+    if not labels:
+        return "-"
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def render_metrics(aggregate: dict, fmt: str = "text") -> str:
+    """Render a cross-process metrics aggregate (``--metrics`` mode)."""
+    if fmt == "json":
+        return json.dumps(aggregate, indent=2)
+    markdown = fmt == "markdown"
+    lines: list[str] = []
+    header = (
+        f"metrics report: {aggregate['processes']} process(es),"
+        f" schema {aggregate['schema']}"
+    )
+    lines.append(f"# {header}" if markdown else header)
+    for key, title, columns in _METRICS_SECTIONS:
+        rows = [
+            {**entry, "labels": _labels_str(entry["labels"])}
+            for entry in aggregate[key]
+        ]
+        if not rows:
+            continue
+        lines.append("")
+        lines.extend(_table_lines(title, columns, rows, markdown))
+    return "\n".join(lines)
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.obs.report",
         description="Aggregate trace JSONL files into per-phase tables.",
     )
-    parser.add_argument("traces", nargs="+", metavar="TRACE",
+    parser.add_argument("traces", nargs="*", metavar="TRACE",
                         help="trace JSONL file(s) to aggregate")
+    parser.add_argument(
+        "--metrics", nargs="+", metavar="PATH", default=None,
+        help="read metric snapshot JSONL file(s) (written by the runner's"
+        " --metrics flag) instead of traces and show the cross-process"
+        " counter/gauge/histogram rollup",
+    )
     parser.add_argument("--format", choices=FORMATS, default="text")
     parser.add_argument(
         "--check", action="store_true",
         help="validate every event against the schema and verify the"
-        " span-exactness invariants before rendering",
+        " span-exactness invariants before rendering (with --metrics:"
+        " validate every snapshot instead)",
     )
     args = parser.parse_args(argv)
+
+    if args.metrics:
+        if args.traces:
+            parser.error("pass either TRACE files or --metrics, not both")
+        snapshots = read_snapshots(args.metrics)
+        if args.check:
+            problems = [
+                f"snapshot {index}: {problem}"
+                for index, snapshot in enumerate(snapshots)
+                for problem in validate_snapshot(snapshot)
+            ]
+            if problems:
+                for problem in problems:
+                    print(f"check failed: {problem}", file=sys.stderr)
+                return 1
+            print(
+                f"check ok: {len(snapshots)} snapshots", file=sys.stderr
+            )
+        print(render_metrics(aggregate_snapshots(snapshots), args.format))
+        return 0
+    if not args.traces:
+        parser.error("no TRACE files given (or use --metrics)")
 
     events = read_traces(args.traces)
     if args.check:

@@ -34,10 +34,17 @@ from pathlib import Path
 from typing import IO, Optional
 
 from repro.memory.stats import MemoryStats
+from repro.obs.flight import get_flight
 
 #: Environment variable: directory to write per-process trace files into.
 #: Empty/unset means tracing is disabled (the NullTracer default).
 TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+
+#: Environment variable: opaque run identifier shared by every process of
+#: one traced run.  Exported by the runner alongside ``REPRO_TRACE_DIR`` so
+#: pooled workers can stamp cross-process parent links that the report can
+#: trust (same run id ⇒ same trace session).
+TRACE_RUN_ENV = "REPRO_TRACE_RUN"
 
 #: Version stamped into every file's ``meta`` event; bump on schema changes.
 SCHEMA_VERSION = 1
@@ -135,6 +142,9 @@ class Tracer:
         An open text stream (used by tests); not closed by :meth:`close`.
     meta:
         Extra key/values merged into the file's leading ``meta`` event.
+    run:
+        Opaque run identifier stamped into the ``meta`` event and exposed
+        as :attr:`run` so cross-process span attrs can carry it.
     """
 
     enabled = True
@@ -144,6 +154,7 @@ class Tracer:
         path: "str | Path | None" = None,
         sink: Optional[IO[str]] = None,
         meta: Optional[dict] = None,
+        run: Optional[str] = None,
     ) -> None:
         if (path is None) == (sink is None):
             raise ValueError("exactly one of path/sink must be given")
@@ -158,12 +169,16 @@ class Tracer:
             self._sink = sink
             self._owns_sink = False
         self.pid = os.getpid()
+        self.run = run
         self._seq = 0
         self._span_ids = 0
         self._stack: list[int] = []
         self._epoch_perf = time.perf_counter()
+        self._flight = get_flight()
         event = {"ev": "meta", "schema": SCHEMA_VERSION,
                  "epoch": time.time()}
+        if run is not None:
+            event["run"] = run
         if meta:
             event.update(meta)
         self.emit(event)
@@ -174,8 +189,28 @@ class Tracer:
         self._span_ids += 1
         return self._span_ids
 
+    def allocate_span_id(self) -> int:
+        """Reserve a span id for a synthesized (non-stack) span.
+
+        Used by emitters that reconstruct spans from replayed per-job
+        stats (the batch engine) rather than entering real ``with``
+        blocks; ids share the per-tracer sequence so they never collide
+        with live spans.
+        """
+        return self._next_span_id()
+
+    @property
+    def current_span(self) -> Optional[int]:
+        """Id of the innermost open span, or ``None`` at top level."""
+        return self._stack[-1] if self._stack else None
+
     def emit(self, event: dict) -> None:
-        """Stamp ``ts``/``seq``/``pid`` and write one JSONL line."""
+        """Stamp ``ts``/``seq``/``pid`` and write one JSONL line.
+
+        Every emitted event is also mirrored into the process flight ring
+        (:mod:`repro.obs.flight`), so a crash under tracing preserves the
+        tail of the span stream even if the file write was cut short.
+        """
         if self._sink is None:
             return
         event["ts"] = time.perf_counter() - self._epoch_perf
@@ -183,6 +218,7 @@ class Tracer:
         event["pid"] = self.pid
         self._seq += 1
         self._sink.write(json.dumps(event, separators=(",", ":")) + "\n")
+        self._flight.mirror(event)
 
     # ------------------------------------------------------------------ #
 
@@ -250,6 +286,8 @@ class NullTracer:
     """
 
     enabled = False
+    run = None
+    current_span = None
 
     def span(self, name, stats=None, attrs=None) -> _NullSpan:
         return _NULL_SPAN
@@ -259,6 +297,9 @@ class NullTracer:
 
     def gauge(self, name, value, attrs=None) -> None:
         pass
+
+    def allocate_span_id(self) -> None:
+        return None
 
     def emit(self, event) -> None:
         pass
@@ -338,7 +379,7 @@ def _tracer_from_env() -> "Tracer | NullTracer":
     if not directory:
         return NULL_TRACER
     path = Path(directory) / f"trace-{os.getpid()}.jsonl"
-    return Tracer(path=path)
+    return Tracer(path=path, run=os.environ.get(TRACE_RUN_ENV) or None)
 
 
 def get_tracer() -> "Tracer | NullTracer":

@@ -29,8 +29,12 @@ import atexit
 import importlib
 import multiprocessing
 import os
+import time
 import traceback
 from typing import Any, Sequence
+
+from repro.obs.flight import dump_flight, get_flight
+from repro.obs.metrics import get_metrics
 
 #: One dispatchable unit: (module name, function name, pickled payload).
 Call = "tuple[str, str, Any]"
@@ -46,23 +50,42 @@ def _resolve_task(module_name: str, func_name: str):
     return getattr(module, func_name)
 
 
-def _worker_main(tasks, results) -> None:
-    """Worker loop: pull ``(task_id, module, func, payload)``, push results.
+def _worker_main(tasks, results, worker_index: int = 0) -> None:
+    """Worker loop: pull ``(task_id, module, func, payload)``, push results
+    as ``(task_id, ok, value, worker_index, elapsed_s)``.
 
     Any exception (including KeyboardInterrupt cascades) is captured as a
     traceback string; the worker itself keeps serving — a poisoned payload
-    must not take the whole pool down with it.
+    must not take the whole pool down with it.  A failing task records the
+    failure in the worker's flight ring and dumps it (when
+    ``REPRO_FLIGHT_DIR`` is armed), so the poisoned shard leaves its own
+    post-mortem with the events leading up to the raise.
     """
+    flight = get_flight()
     while True:
         item = tasks.get()
         if item is None:
             return
         task_id, module_name, func_name, payload = item
+        t0 = time.perf_counter()
         try:
             func = _resolve_task(module_name, func_name)
-            results.put((task_id, True, func(payload)))
+            value = func(payload)
+            results.put(
+                (task_id, True, value, worker_index,
+                 time.perf_counter() - t0)
+            )
         except BaseException:
-            results.put((task_id, False, traceback.format_exc()))
+            flight.record(
+                "pool_task_failed", f"{module_name}.{func_name}",
+                task=task_id, worker=worker_index,
+                error=traceback.format_exc(limit=4),
+            )
+            dump_flight(f"pool-task-{task_id}")
+            results.put(
+                (task_id, False, traceback.format_exc(), worker_index,
+                 time.perf_counter() - t0)
+            )
 
 
 class WorkerError(RuntimeError):
@@ -92,7 +115,7 @@ class WorkerPool:
         self._procs = [
             ctx.Process(
                 target=_worker_main,
-                args=(self._tasks, self._results),
+                args=(self._tasks, self._results, i),
                 daemon=True,
                 name=f"repro-shard-{i}",
             )
@@ -123,16 +146,31 @@ class WorkerPool:
         feeder = threading.Thread(target=feed, name="repro-pool-feed",
                                   daemon=True)
         feeder.start()
+        metrics = get_metrics()
         results: list = [None] * len(calls)
         failure: "tuple | None" = None
+        outstanding = len(calls)
         for _ in range(len(calls)):
-            task_id, ok, value = self._results.get()
+            task_id, ok, value, worker_index, elapsed_s = self._results.get()
+            outstanding -= 1
+            if metrics.enabled:
+                metrics.observe("pool.task_s", elapsed_s,
+                                worker=str(worker_index))
+                metrics.gauge("pool.queue_depth", outstanding)
+                metrics.inc("pool.tasks")
+                if not ok:
+                    metrics.inc("pool.task_failures")
             if not ok and failure is None:
                 failure = (task_id, value)
             results[task_id] = value
         feeder.join()
         if failure is not None:
             task_id, value = failure
+            get_flight().record(
+                "pool_task_failed_parent",
+                f"{calls[task_id][0]}.{calls[task_id][1]}", task=task_id,
+            )
+            dump_flight(f"pool-run-task-{task_id}")
             raise WorkerError(
                 f"shard task {calls[task_id][0]}.{calls[task_id][1]} "
                 f"failed in worker:\n{value}"

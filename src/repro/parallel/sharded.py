@@ -143,6 +143,12 @@ def _sort_shard_task(payload: dict) -> "tuple[MemoryStats, MemoryStats]":
     memory spec; the key data stays in the shared segment.  The worker
     attaches, sorts the window in place, detaches, and returns the shard's
     fresh stats.
+
+    When the dispatching parent was tracing, the payload also carries a
+    ``trace`` context (parent pid, open span id, run id); the worker wraps
+    the shard in a ``shard.task`` span stamping that context into attrs,
+    so the report can parent the worker's part-file spans back under the
+    parent's ``sort.sharded:*`` span after the runner merges the parts.
     """
     # Attaching re-registers the segment with the resource tracker the
     # worker inherited from the parent at fork (the pool guarantees it was
@@ -150,6 +156,18 @@ def _sort_shard_task(payload: dict) -> "tuple[MemoryStats, MemoryStats]":
     # unregister the parent's unlink sends.
     shm = shared_memory.SharedMemory(name=payload["shm"])
     try:
+        tracer = get_tracer()
+        context = payload.get("trace")
+        if tracer.enabled and context is not None:
+            attrs = {
+                "name": payload["name"],
+                "trace_parent_pid": context["pid"],
+                "trace_parent_span": context["span"],
+            }
+            if context.get("run") is not None:
+                attrs["run"] = context["run"]
+            with tracer.span("shard.task", attrs=attrs):
+                return _sort_shard_attached(shm, payload)
         return _sort_shard_attached(shm, payload)
     finally:
         # _sort_shard_attached's views died with its frame, so no exported
@@ -521,6 +539,16 @@ class ShardedSorter(BaseSorter):
         sorter_kwargs = dict(_implicit_kwargs(self.base))
         sorter_kwargs["kernels"] = resolve_kernels(self.base.kernels)
         if shm is not None and workers >= 2:
+            # Cross-process trace context: workers write their own per-pid
+            # part files, so the only way their spans can parent correctly
+            # after the merge is to ship the parent's (pid, span, run id)
+            # along with the task.
+            tracer = get_tracer()
+            trace_context = (
+                {"pid": tracer.pid, "span": tracer.current_span,
+                 "run": tracer.run}
+                if tracer.enabled else None
+            )
             calls = []
             for index in live:
                 calls.append((
@@ -539,6 +567,7 @@ class ShardedSorter(BaseSorter):
                         "algorithm": self.base.name,
                         "sorter_kwargs": sorter_kwargs,
                         "name": f"{keys_name}.shard{index}",
+                        "trace": trace_context,
                     },
                 ))
             for index, pair in zip(live, get_pool(workers).run(calls)):

@@ -14,11 +14,12 @@ the same code runs on precise PCM, approximate PCM, and the spintronic model
 from __future__ import annotations
 
 import math
+import time
 from typing import Optional, Protocol
 
 from repro.kernels import resolve_kernels
 from repro.memory.approx_array import InstrumentedArray
-from repro.obs import get_tracer
+from repro.obs import get_metrics, get_tracer
 
 
 class Sorter(Protocol):
@@ -86,6 +87,8 @@ class BaseSorter:
         if len(keys) < 2:
             return
         tracer = get_tracer()
+        metrics = get_metrics()
+        t0 = time.perf_counter() if metrics.enabled else 0.0
         if tracer.enabled:
             with tracer.span(
                 f"sort.{self.name}", stats=keys.stats,
@@ -96,6 +99,11 @@ class BaseSorter:
                 self._sort(keys, ids)
         else:
             self._sort(keys, ids)
+        if metrics.enabled:
+            metrics.observe(
+                "sort.wall_s", time.perf_counter() - t0,
+                algo=self.name, region=keys.region,
+            )
 
     # Subclasses implement the actual algorithm.
     def _sort(

@@ -564,6 +564,127 @@ def check_batched_loop(case: OracleCase) -> list[Divergence]:
     return out
 
 
+def check_batch_span_tiling(case: OracleCase) -> list[Divergence]:
+    """Traced batched execution stays batched and its spans tile exactly.
+
+    Runs a ragged batch (the ``batched_loop`` construction) under a live
+    file tracer and requires: bit-identical results to the looped
+    references, exactly one synthesized ``batch.run`` span, one
+    ``batch.segment`` per job whose ``stats`` match that job's
+    ``MemoryStats`` (integers exactly, write-units to ulp tolerance), and
+    the verbatim ``cum_start``/``cum`` tiling chain that
+    :func:`repro.obs.report.check_events` enforces.  Under the sanitizer
+    or ``REPRO_SHARDS`` the engine legitimately loops and emits no batch
+    spans, so the class degenerates to a no-op there.
+    """
+    from repro.batch import BatchJob, run_batch
+    from repro.batch.engine import _needs_looped_run
+    from repro.obs.io import read_traces
+    from repro.obs.report import check_events
+
+    if _needs_looped_run():
+        return []
+
+    out: list[Divergence] = []
+    name = "batch_span_tiling"
+    memory = memory_for(case.t)
+
+    def keys_for(n: int, seed: int) -> list[int]:
+        if n == 0:
+            return []
+        if case.workload in EXTRA_WORKLOADS:
+            return EXTRA_WORKLOADS[case.workload](n, seed)
+        return make_keys(case.workload, n, seed=seed)
+
+    lengths = (case.n, 1, 0, max(2, case.n // 2), 2, 3)
+    jobs = [
+        BatchJob(
+            keys=keys_for(n, case.seed + j), sorter=case.algorithm,
+            memory=memory, seed=case.seed + 17 * j, kernels="numpy",
+        )
+        for j, n in enumerate(lengths)
+    ]
+
+    previous = set_tracer(NULL_TRACER)
+    try:
+        looped = [
+            run_approx_refine(
+                job.keys, case.algorithm, memory, seed=job.seed,
+                kernels="numpy",
+            )
+            for job in jobs
+        ]
+        with tempfile.TemporaryDirectory(prefix="verify-batchspan-") as tmp:
+            path = os.path.join(tmp, "trace.jsonl")
+            tracer = Tracer(path=path)
+            set_tracer(tracer)
+            try:
+                batched = run_batch(jobs)
+            finally:
+                tracer.close()
+                set_tracer(NULL_TRACER)
+            events = read_traces([path])
+    finally:
+        set_tracer(previous)
+
+    for j, (want, got) in enumerate(zip(looped, batched)):
+        where = f"[{j}]"
+        _first_mismatch(out, name, f"{where}.final_keys",
+                        want.final_keys, got.final_keys)
+        _first_mismatch(out, name, f"{where}.final_ids",
+                        want.final_ids, got.final_ids)
+        _compare_stats(out, name, f"{where}.stats", want.stats, got.stats)
+        if out:
+            return out
+
+    problems = check_events(events)
+    if problems:
+        out.append(Divergence(
+            name, "check_events", None, "no problems", problems[0]
+        ))
+        return out
+    span_ends = [e for e in events if e.get("ev") == "span_end"]
+    runs = [e for e in span_ends if e["name"] == "batch.run"]
+    if len(runs) != 1:
+        out.append(Divergence(
+            name, "batch.run spans (engine stood down?)", None, 1, len(runs)
+        ))
+        return out
+    segments = sorted(
+        (e for e in span_ends if e["name"] == "batch.segment"),
+        key=lambda e: e["id"],
+    )
+    if len(segments) != len(jobs):
+        out.append(Divergence(
+            name, "batch.segment spans", None, len(jobs), len(segments)
+        ))
+        return out
+    for j, (segment, result) in enumerate(zip(segments, batched)):
+        want_stats = result.stats.as_dict()
+        got_stats = segment["stats"]
+        if segment["attrs"]["n"] != result.n:
+            out.append(Divergence(
+                name, f"segment[{j}].attrs.n", j,
+                result.n, segment["attrs"]["n"],
+            ))
+            return out
+        for counter, want_value in want_stats.items():
+            got_value = got_stats[counter]
+            if counter == "approx_write_units":
+                agree = math.isclose(
+                    want_value, got_value, rel_tol=1e-9, abs_tol=1e-6
+                )
+            else:
+                agree = want_value == got_value
+            if not agree:
+                out.append(Divergence(
+                    name, f"segment[{j}].stats.{counter}", j,
+                    want_value, got_value,
+                ))
+                return out
+    return out
+
+
 #: Registry of equivalence classes.  ``bit`` classes are deterministic;
 #: ``scalar_numpy_approx`` is distributional for non-block-writers.
 EQUIVALENCE_CLASSES: dict[str, Callable[[OracleCase], list[Divergence]]] = {
@@ -573,6 +694,7 @@ EQUIVALENCE_CLASSES: dict[str, Callable[[OracleCase], list[Divergence]]] = {
     "resumed_uninterrupted": check_resumed_uninterrupted,
     "sharded_serial": check_sharded_serial,
     "batched_loop": check_batched_loop,
+    "batch_span_tiling": check_batch_span_tiling,
 }
 
 #: The deterministic subset (safe for tight CI gates and fuzz smoke).
@@ -582,6 +704,7 @@ BIT_CLASSES = (
     "resumed_uninterrupted",
     "sharded_serial",
     "batched_loop",
+    "batch_span_tiling",
 )
 
 

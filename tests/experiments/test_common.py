@@ -6,9 +6,13 @@ import pytest
 
 from repro.experiments.common import (
     ExperimentTable,
+    Heartbeat,
+    current_heartbeat,
     fmt_pct,
+    map_cells,
     resolve_scale,
     scaled,
+    set_current_heartbeat,
 )
 
 
@@ -83,3 +87,53 @@ class TestExperimentTable:
     def test_fmt_pct(self):
         assert fmt_pct(0.113) == "+11.3%"
         assert fmt_pct(-0.05) == "-5.0%"
+
+
+def _identity(x):
+    return x
+
+
+class TestHeartbeatDetail:
+    def test_set_detail_shown_until_advance(self):
+        heartbeat = Heartbeat("run", total=3, interval=0)
+        heartbeat.set_detail("5/9 cells")
+        assert heartbeat._detail == "5/9 cells"
+        heartbeat.advance()
+        # A finished unit invalidates the finer-grained detail under it.
+        assert heartbeat._detail == ""
+
+    def test_map_cells_reports_per_cell_progress(self):
+        heartbeat = Heartbeat("run", total=1, interval=0)
+        previous = set_current_heartbeat(heartbeat)
+        try:
+            assert current_heartbeat() is heartbeat
+            out = map_cells(_identity, [(1,), (2,), (3,)])
+        finally:
+            set_current_heartbeat(previous)
+        assert out == [1, 2, 3]
+        assert heartbeat._detail == "3/3 cells"
+
+    def test_map_cells_counts_restored_cells(self, tmp_path):
+        from repro.experiments.checkpoint import CellJournal
+
+        cells = [(1,), (2,), (3,), (4,)]
+        path = tmp_path / "cells.jsonl"
+        journal = CellJournal(str(path))
+        journal.record(0, cells[0], 1)
+        journal.record(1, cells[1], 2)
+        journal.close()
+        heartbeat = Heartbeat("run", total=1, interval=0)
+        previous = set_current_heartbeat(heartbeat)
+        try:
+            journal = CellJournal(str(path))
+            out = map_cells(_identity, cells, journal=journal)
+            journal.close()
+        finally:
+            set_current_heartbeat(previous)
+        assert out == [1, 2, 3, 4]
+        # Restored cells count toward the completed/total detail.
+        assert heartbeat._detail == "4/4 cells"
+
+    def test_map_cells_without_heartbeat_is_silent(self):
+        assert current_heartbeat() is None
+        assert map_cells(_identity, [(7,)]) == [7]

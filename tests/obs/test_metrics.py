@@ -1,0 +1,228 @@
+"""Metrics registry: exact percentiles, snapshots, aggregation, CLI."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.obs import (
+    METRICS_DIR_ENV,
+    NULL_METRICS,
+    MetricsRegistry,
+    close_metrics,
+    get_metrics,
+)
+from repro.obs.metrics import (
+    METRICS_SCHEMA_VERSION,
+    SAMPLE_CAP,
+    aggregate_snapshots,
+    bucket_percentile,
+    percentile,
+    read_snapshots,
+    snapshot_to_prometheus,
+    validate_snapshot,
+)
+from repro.obs.report import main as report_main
+
+
+class TestPercentile:
+    def test_nearest_rank_matches_definition(self):
+        rng = random.Random(7)
+        for n in (1, 2, 3, 10, 97):
+            samples = sorted(rng.random() for _ in range(n))
+            for q in (0.5, 0.95, 0.99):
+                # ceil(q * n), clamped to [1, n] — the textbook nearest rank.
+                rank = min(max(1, -(-int(q * 1_000_000) * n // 1_000_000)), n)
+                assert percentile(samples, q) == samples[rank - 1]
+
+    def test_empty_is_none(self):
+        assert percentile([], 0.5) is None
+        assert bucket_percentile((1.0,), [0, 0], 0.5) is None
+
+
+class TestRegistry:
+    def test_counters_gauges_histograms(self):
+        metrics = MetricsRegistry()
+        metrics.inc("batch.fallback", reason="memory")
+        metrics.inc("batch.fallback", value=2, reason="memory")
+        metrics.gauge("pool.queue_depth", 5)
+        metrics.gauge("pool.queue_depth", 2)
+        for value in (0.1, 0.2, 0.3):
+            metrics.observe("pool.task_s", value, worker="0")
+        snap = metrics.snapshot()
+        assert snap["schema"] == METRICS_SCHEMA_VERSION
+        (counter,) = snap["counters"]
+        assert counter == {"name": "batch.fallback",
+                           "labels": {"reason": "memory"}, "value": 3}
+        (gauge,) = snap["gauges"]
+        assert gauge["value"] == 2 and gauge["min"] == 2 and gauge["max"] == 5
+        assert gauge["updates"] == 2
+        (hist,) = snap["histograms"]
+        assert hist["count"] == 3 and hist["exact"] is True
+        assert hist["p50"] == 0.2 and hist["p95"] == 0.3
+        assert sum(hist["bucket_counts"]) == hist["count"]
+
+    def test_exact_percentiles_match_sorted_samples(self):
+        metrics = MetricsRegistry()
+        rng = random.Random(11)
+        values = [rng.random() for _ in range(500)]
+        for value in values:
+            metrics.observe("x", value)
+        (hist,) = metrics.snapshot()["histograms"]
+        ordered = sorted(values)
+        assert hist["p50"] == percentile(ordered, 0.5)
+        assert hist["p99"] == percentile(ordered, 0.99)
+        assert hist["samples"] == ordered
+
+    def test_over_cap_downgrades_to_buckets(self):
+        metrics = MetricsRegistry(buckets=(0.5, 1.0))
+        for _ in range(SAMPLE_CAP + 1):
+            metrics.observe("x", 0.25)
+        (hist,) = metrics.snapshot()["histograms"]
+        assert hist["exact"] is False
+        assert "samples" not in hist
+        assert 0.0 < hist["p50"] <= 0.5  # interpolated inside bucket 0
+
+    def test_snapshot_deterministic_across_interleavings(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("c", tag="x")
+        a.observe("h", 0.1)
+        a.inc("d")
+        b.inc("d")
+        b.observe("h", 0.1)
+        b.inc("c", tag="x")
+        strip = ("pid", "epoch", "ts")
+        sa = {k: v for k, v in a.snapshot().items() if k not in strip}
+        sb = {k: v for k, v in b.snapshot().items() if k not in strip}
+        assert sa == sb
+
+    def test_export_appends_snapshot_lines(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        metrics = MetricsRegistry(path=path)
+        metrics.inc("c")
+        metrics.export()
+        metrics.inc("c")
+        metrics.close()
+        snapshots = read_snapshots([path])
+        assert len(snapshots) == 2
+        assert [s["seq"] for s in snapshots] == [0, 1]
+        assert snapshots[-1]["counters"][0]["value"] == 2
+        assert all(validate_snapshot(s) == [] for s in snapshots)
+        metrics.close()  # idempotent
+
+    def test_null_metrics_is_disabled_and_inert(self):
+        assert NULL_METRICS.enabled is False
+        NULL_METRICS.inc("c")
+        NULL_METRICS.observe("h", 1.0)
+        assert NULL_METRICS.snapshot()["counters"] == []
+
+
+class TestEnvRegistry:
+    def test_disabled_without_env(self):
+        assert get_metrics() is NULL_METRICS
+
+    def test_enabled_from_env_writes_per_pid_file(self, tmp_path, monkeypatch):
+        import os
+
+        monkeypatch.setenv(METRICS_DIR_ENV, str(tmp_path))
+        close_metrics()
+        metrics = get_metrics()
+        assert metrics.enabled
+        metrics.inc("runner.smoke")
+        close_metrics()
+        part = tmp_path / f"metrics-{os.getpid()}.jsonl"
+        assert part.exists()
+        (snap,) = read_snapshots([part])[-1:]
+        assert snap["pid"] == os.getpid()
+        assert snap["counters"][0]["name"] == "runner.smoke"
+
+
+class TestValidateAndAggregate:
+    def test_validate_rejects_corruption(self):
+        metrics = MetricsRegistry()
+        metrics.observe("h", 0.1)
+        snap = metrics.snapshot()
+        assert validate_snapshot(snap) == []
+        bad = json.loads(json.dumps(snap))
+        bad["histograms"][0]["bucket_counts"][0] += 1
+        assert any("bucket counts" in p for p in validate_snapshot(bad))
+        assert validate_snapshot({"schema": 99}) != []
+
+    def test_aggregates_across_pids(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("c", value=2)
+        b.inc("c", value=3)
+        a.gauge("g", 1)
+        b.gauge("g", 9)
+        a.observe("h", 0.1)
+        b.observe("h", 0.5)
+        sa, sb = a.snapshot(), b.snapshot()
+        sb["pid"] = sa["pid"] + 1  # two distinct processes
+        merged = aggregate_snapshots([sa, sb])
+        assert merged["processes"] == 2
+        assert merged["counters"][0]["value"] == 5
+        (gauge,) = merged["gauges"]
+        assert gauge["min"] == 1 and gauge["max"] == 9
+        (hist,) = merged["histograms"]
+        assert hist["count"] == 2 and hist["exact"] is True
+        assert hist["p50"] == 0.1 and hist["p95"] == 0.5
+
+    def test_last_snapshot_per_pid_wins(self):
+        metrics = MetricsRegistry()
+        metrics.inc("c")
+        first = metrics.snapshot()
+        metrics.inc("c")
+        second = metrics.snapshot()
+        second["seq"] = 1
+        merged = aggregate_snapshots([first, second])
+        assert merged["counters"][0]["value"] == 2
+
+
+class TestPrometheus:
+    def test_exposition_shape(self):
+        metrics = MetricsRegistry()
+        metrics.inc("batch.groups")
+        metrics.gauge("pool.queue_depth", 3, worker="1")
+        metrics.observe("sort.wall_s", 0.02, algo="lsd6")
+        text = metrics.to_prometheus()
+        assert "# TYPE repro_batch_groups_total counter" in text
+        assert 'repro_pool_queue_depth{worker="1"} 3' in text
+        assert "# TYPE repro_sort_wall_s histogram" in text
+        assert 'le="+Inf"' in text
+        assert "repro_sort_wall_s_count" in text
+        assert snapshot_to_prometheus(metrics.snapshot()) == text
+
+
+class TestReportMetricsMode:
+    def _write(self, tmp_path):
+        metrics = MetricsRegistry(path=tmp_path / "metrics.jsonl")
+        metrics.inc("batch.groups", value=4)
+        metrics.observe("pool.task_s", 0.125, worker="0")
+        metrics.close()
+        return tmp_path / "metrics.jsonl"
+
+    def test_metrics_mode_renders_rollup(self, tmp_path, capsys):
+        path = self._write(tmp_path)
+        assert report_main(["--metrics", str(path), "--check"]) == 0
+        captured = capsys.readouterr()
+        assert "check ok: 1 snapshots" in captured.err
+        assert "metrics report: 1 process(es)" in captured.out
+        assert "batch.groups" in captured.out
+        assert "pool.task_s" in captured.out
+
+    def test_metrics_check_fails_on_corruption(self, tmp_path, capsys):
+        path = self._write(tmp_path)
+        snap = json.loads(path.read_text().splitlines()[0])
+        snap["histograms"][0]["count"] += 1
+        path.write_text(json.dumps(snap) + "\n")
+        assert report_main(["--metrics", str(path), "--check"]) == 1
+        assert "check failed:" in capsys.readouterr().err
+
+    def test_traces_and_metrics_are_exclusive(self, tmp_path):
+        path = self._write(tmp_path)
+        with pytest.raises(SystemExit):
+            report_main([str(path), "--metrics", str(path)])
+        with pytest.raises(SystemExit):
+            report_main([])

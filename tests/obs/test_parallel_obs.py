@@ -1,0 +1,150 @@
+"""Observability under parallelism: pooled traces parent, metrics merge.
+
+The ``shard.task`` spans written by pooled workers must carry enough
+context (``trace_parent_pid``/``trace_parent_span``/``run`` attrs) for a
+merged multi-pid trace to roll worker spans up under the dispatching
+span; pooled runs with metrics enabled must leave per-pid snapshot files
+whose aggregate sees every worker's latencies.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.memory.approx_array import PreciseArray
+from repro.memory.stats import MemoryStats
+from repro.obs import (
+    METRICS_DIR_ENV,
+    TRACE_DIR_ENV,
+    TRACE_RUN_ENV,
+    close_metrics,
+    close_tracer,
+    get_metrics,
+    get_tracer,
+)
+from repro.obs.io import read_traces
+from repro.obs.metrics import aggregate_snapshots, read_snapshots
+from repro.obs.report import build_report, check_events
+from repro.parallel.pool import fork_available, shutdown_pools
+from repro.parallel.sharded import ShardedSorter
+from repro.sorting.registry import make_base_sorter
+from repro.workloads.generators import uniform_keys
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="pooled paths require fork"
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pools():
+    """Workers must fork after the env of each test is in place."""
+    shutdown_pools()
+    yield
+    shutdown_pools()
+
+
+def _pooled_sort(n: int = 400, seed: int = 9) -> None:
+    keys = uniform_keys(n, seed=seed)
+    sorter = ShardedSorter(
+        make_base_sorter("lsd3"), shards=3, workers=2, min_n=2,
+        kernels="numpy",
+    )
+    array = PreciseArray(list(keys), stats=MemoryStats())
+    sorter.sort(array)
+    assert array.peek_block_np(0, len(array)).tolist() == sorted(keys)
+
+
+class TestPooledTraceParenting:
+    def test_worker_spans_parent_across_processes(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(TRACE_DIR_ENV, str(tmp_path))
+        monkeypatch.setenv(TRACE_RUN_ENV, "runid12ab34cd")
+        close_tracer()
+        parent = get_tracer()
+        assert parent.enabled and parent.run == "runid12ab34cd"
+        with parent.span("experiment", attrs={"name": "unit"}):
+            _pooled_sort()
+        close_tracer()
+        shutdown_pools()  # drain workers so their part files are complete
+
+        parts = sorted(tmp_path.glob("trace-*.jsonl"))
+        assert len(parts) >= 2, "expected parent + worker part files"
+        events = read_traces(parts)
+        assert check_events(events) == []
+
+        tasks = [
+            e for e in events
+            if e.get("ev") == "span_end" and e["name"] == "shard.task"
+        ]
+        assert tasks, "workers emitted no shard.task spans"
+        parent_ids = {
+            e["id"] for e in events
+            if e.get("ev") == "span_end" and e["pid"] == parent.pid
+        }
+        for task in tasks:
+            assert task["pid"] != parent.pid
+            assert task["attrs"]["trace_parent_pid"] == parent.pid
+            assert task["attrs"]["trace_parent_span"] in parent_ids
+            assert task["attrs"]["run"] == "runid12ab34cd"
+
+        report = build_report(events)
+        assert report["processes"] >= 2
+        assert report["cross_process_children"] >= len(tasks)
+
+    def test_worker_meta_carries_run_id(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(TRACE_DIR_ENV, str(tmp_path))
+        monkeypatch.setenv(TRACE_RUN_ENV, "feedc0ffee12")
+        close_tracer()
+        with get_tracer().span("experiment"):
+            _pooled_sort(n=300, seed=3)
+        close_tracer()
+        shutdown_pools()
+        events = read_traces(sorted(tmp_path.glob("trace-*.jsonl")))
+        metas = [e for e in events if e.get("ev") == "meta"]
+        assert len(metas) >= 2
+        assert all(m.get("run") == "feedc0ffee12" for m in metas)
+
+
+class TestPooledMetrics:
+    def test_pool_latency_lands_in_merged_snapshots(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv(METRICS_DIR_ENV, str(tmp_path))
+        close_metrics()
+        metrics = get_metrics()
+        assert metrics.enabled
+        _pooled_sort()
+        close_metrics()
+        shutdown_pools()  # graceful exit runs the workers' finalizers
+
+        parts = sorted(tmp_path.glob("metrics-*.jsonl"))
+        assert parts, "no metrics snapshot files written"
+        merged = aggregate_snapshots(read_snapshots(parts))
+        counters = {c["name"] for c in merged["counters"]}
+        histograms = {h["name"] for h in merged["histograms"]}
+        assert "pool.tasks" in counters
+        assert "pool.task_s" in histograms
+        assert any(g["name"] == "pool.queue_depth" for g in merged["gauges"])
+        parent_part = tmp_path / f"metrics-{os.getpid()}.jsonl"
+        assert parent_part.exists()
+
+    def test_snapshots_from_reruns_aggregate_deterministically(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv(METRICS_DIR_ENV, str(tmp_path))
+        close_metrics()
+        _pooled_sort(n=200, seed=1)
+        close_metrics()
+        shutdown_pools()
+        merged = aggregate_snapshots(
+            read_snapshots(sorted(tmp_path.glob("metrics-*.jsonl")))
+        )
+        again = aggregate_snapshots(
+            read_snapshots(sorted(tmp_path.glob("metrics-*.jsonl")))
+        )
+        assert merged == again
+        total = next(
+            c["value"] for c in merged["counters"] if c["name"] == "pool.tasks"
+        )
+        assert total == 3  # one pool task per shard

@@ -24,9 +24,11 @@ Usage::
 
 ``--check`` exits non-zero when a bench file has drifted from the shared
 conventions: not a JSON array of objects, a record without a timestamp or
-without any recognized metric field, or a field changing type within a
-series.  CI can run it to catch a harness silently changing its record
-shape.
+without any recognized metric field, a field changing type within a
+series, or a missing integer ``schema`` stamp in files that require one
+(``BENCH_obs.json``; any file adopts the rule as soon as one record
+carries the stamp).  CI can run it to catch a harness silently changing
+its record shape.
 """
 
 from __future__ import annotations
@@ -48,8 +50,15 @@ MEASURED_FIELDS = frozenset({
     "rem_tilde_serial", "rem_tilde_sharded", "write_reduction_serial",
     "write_reduction_sharded", "pass", "digest_serial", "digest_sharded",
     "digests_match", "pooled_matches_inprocess", "experiments", "failed",
-    "resumed", "workers_effective", "cpus",
+    "resumed", "workers_effective", "cpus", "metrics_active_s",
+    "metrics_active_overhead_frac", "metrics_guard_ns",
+    "metrics_guard_sites", "est_metrics_disabled_overhead_frac",
+    "metrics_observe_ns", "est_metrics_active_overhead_frac",
 })
+
+#: Files whose records must carry an integer ``schema`` stamp (``--check``
+#: enforces it); other files adopt the rule as soon as one record has it.
+SCHEMA_REQUIRED = frozenset({"BENCH_obs.json"})
 
 #: Primary timing metric, first match wins (seconds-like, lower is better).
 METRIC_FIELDS = ("seconds", "total_s", "sharded_s", "sharded_wall_s", "active_s")
@@ -99,6 +108,9 @@ def check_file(name: str, records) -> list[str]:
     problems = []
     if not isinstance(records, list):
         return [f"{name}: not a JSON array"]
+    needs_schema = name in SCHEMA_REQUIRED or any(
+        isinstance(r, dict) and "schema" in r for r in records
+    )
     field_types: dict[tuple, dict[str, type]] = {}
     for i, record in enumerate(records):
         if not isinstance(record, dict):
@@ -106,6 +118,11 @@ def check_file(name: str, records) -> list[str]:
             continue
         if not isinstance(record.get("timestamp"), str):
             problems.append(f"{name}[{i}]: missing/non-string timestamp")
+        if needs_schema and not (
+            isinstance(record.get("schema"), int)
+            and not isinstance(record.get("schema"), bool)
+        ):
+            problems.append(f"{name}[{i}]: missing/non-integer schema stamp")
         if primary_metric(record) is None:
             problems.append(
                 f"{name}[{i}]: no recognized metric field"
