@@ -1,0 +1,194 @@
+"""Serving bench: batched admission scheduling vs a no-batching baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+    PYTHONPATH=src python benchmarks/bench_serve.py --requests 400 \
+        --concurrency 24 --n 128 --out BENCH_serve.json
+
+Boots an in-process :class:`repro.serve.SortServer` on an ephemeral port
+and drives the closed-loop load generator (real TCP round trips) twice
+per tenant lane:
+
+* ``batched``  — the shipped configuration: a coalescing window plus
+  ``max_batch`` jobs per drain, so concurrent small requests ride one
+  vectorized engine invocation;
+* ``nobatch``  — the same server with the scheduler forced to one job
+  per drain (``window 0``, ``max_batch 1``), i.e. the engine called the
+  way a naive per-request service would call it.
+
+Both lanes serve identical request streams (same seeds, same key
+workloads) and both responses are exact — the comparison is throughput
+only.  Appends one record per tenant (``schema`` 1) to a JSON array file
+(default ``BENCH_serve.json`` at the repo root, the append-style shared
+by every BENCH file) carrying p50/p95/p99 latency, sustained RPS, and
+``speedup_vs_nobatch``; exits non-zero if any lane saw errors or the
+batched configuration failed to beat the baseline on the small-job
+stream — the PR-acceptance guard that admission batching actually pays.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import dataclasses
+import json
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.serve import DEFAULT_PROFILES, SortServer, run_load
+
+#: Record schema: 1 = batched/nobatch throughput comparison (this file).
+BENCH_SERVE_SCHEMA = 1
+
+#: Monte-Carlo fit size for bench-scope memory models (disk-cached).
+FIT = 20_000
+
+#: The acceptance guard: batched RPS must exceed no-batching RPS.
+MIN_SPEEDUP = 1.0
+
+
+def _append_records(path: Path, records: list[dict]) -> None:
+    existing = []
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            existing = []
+        if not isinstance(existing, list):
+            existing = [existing]
+    existing.extend(records)
+    path.write_text(json.dumps(existing, indent=2) + "\n")
+
+
+async def _measure(profiles, mode: str, args) -> tuple:
+    """One load run against a fresh in-process server; returns
+    (LoadReport, scheduler stats)."""
+    if mode == "batched":
+        window_s, max_batch = args.window_ms / 1000.0, args.max_batch
+    else:  # nobatch: one job per drain — the per-request engine baseline
+        window_s, max_batch = 0.0, 1
+    server = SortServer(
+        profiles=profiles,
+        queue_depth=args.queue_depth,
+        per_tenant_depth=args.queue_depth,
+        window_s=window_s,
+        max_batch=max_batch,
+    )
+    await server.start()
+    try:
+        report = await run_load(
+            server.host, server.port,
+            tenant=args.tenant,
+            requests=args.requests,
+            concurrency=args.concurrency,
+            n=args.n,
+            workload=args.workload,
+            seed=args.seed,
+        )
+    finally:
+        await server.aclose()
+    return report, server.scheduler.stats()
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_serve",
+        description="Serving throughput: batched scheduler vs no batching.",
+    )
+    parser.add_argument("--tenant", default="approx-fast",
+                        help="tenant profile to drive (default approx-fast)")
+    parser.add_argument("--requests", type=int, default=300)
+    parser.add_argument("--concurrency", type=int, default=16)
+    parser.add_argument("--n", type=int, default=256, help="keys per request")
+    parser.add_argument("--workload", default="uniform")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--window-ms", type=float, default=2.0)
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--queue-depth", type=int, default=256)
+    parser.add_argument("--fit-samples", type=int, default=FIT)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="load runs per mode; best throughput is kept")
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="append record here (default: BENCH_serve.json at repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    profiles = [
+        dataclasses.replace(p, fit_samples=args.fit_samples)
+        for p in DEFAULT_PROFILES
+    ]
+
+    best: dict[str, tuple] = {}
+    for mode in ("batched", "nobatch"):
+        for _ in range(args.repeats):
+            report, stats = asyncio.run(_measure(profiles, mode, args))
+            if report.errors:
+                print(f"error: {mode} lane saw {report.errors} errors",
+                      file=sys.stderr)
+                return 1
+            if mode not in best or report.rps > best[mode][0].rps:
+                best[mode] = (report, stats)
+        report, stats = best[mode]
+        print(
+            f"{mode:8s} total {report.total_s:8.3f}s  rps {report.rps:8.1f}"
+            f"  p50 {report.latency_percentile(0.5) * 1e3:7.2f}ms"
+            f"  p99 {report.latency_percentile(0.99) * 1e3:7.2f}ms"
+            f"  jobs/drain {stats['completed'] / max(1, stats['drains']):.1f}"
+        )
+
+    batched, batched_stats = best["batched"]
+    nobatch, _ = best["nobatch"]
+    speedup = batched.rps / nobatch.rps if nobatch.rps else float("inf")
+    print(f"speedup vs no-batching: {speedup:.2f}x")
+
+    record = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "schema": BENCH_SERVE_SCHEMA,
+        "part": "serve_small_jobs",
+        "tenant": args.tenant,
+        "requests": args.requests,
+        "concurrency": args.concurrency,
+        "n": args.n,
+        "workload": args.workload,
+        "window_ms": args.window_ms,
+        "max_batch": args.max_batch,
+        "total_s": round(batched.total_s, 4),
+        "rps": round(batched.rps, 1),
+        "p50_s": round(batched.latency_percentile(0.5), 6),
+        "p95_s": round(batched.latency_percentile(0.95), 6),
+        "p99_s": round(batched.latency_percentile(0.99), 6),
+        "ok": batched.ok,
+        "rejected": batched.rejected,
+        "errors": batched.errors,
+        "jobs_per_drain": round(
+            batched_stats["completed"] / max(1, batched_stats["drains"]), 2
+        ),
+        "nobatch_total_s": round(nobatch.total_s, 4),
+        "nobatch_rps": round(nobatch.rps, 1),
+        "speedup_vs_nobatch": round(speedup, 3),
+    }
+    out = (
+        Path(args.out)
+        if args.out
+        else Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+    )
+    _append_records(out, [record])
+    print(f"appended to {out}")
+
+    if speedup < MIN_SPEEDUP:
+        print(
+            f"error: batched serving ({batched.rps:.1f} rps) did not beat"
+            f" the no-batching baseline ({nobatch.rps:.1f} rps)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,7 @@ import numpy as np
 from repro.core.approx_refine import run_approx_refine, run_precise_baseline
 from repro.core.refine import merge_refined, sort_rem_ids
 from repro.core.report import ApproxRefineResult, BaselineResult
+from repro.errors import ConfigError
 from repro.kernels import resolve_kernels
 from repro.memory.approx_array import ApproxArray
 from repro.memory.stats import MemoryStats
@@ -182,6 +183,43 @@ def run_batch(jobs: Sequence[BatchJob]) -> list:
                 tracer, first.sorter, first.kernels, lane, batch, wall_s
             )
     return results
+
+
+def run_job_group(jobs: Sequence[BatchJob]) -> list:
+    """Execute one *externally assembled* same-config job group.
+
+    The admission scheduler of :mod:`repro.serve` (and any other caller
+    that already buckets its requests) assembles coalescing groups itself.
+    :func:`run_batch` would accept such a group as-is, but it would also
+    silently *re-group* a caller mistake — jobs with mixed configs would
+    quietly split into several kernel dispatches and the caller's batching
+    arithmetic (window sizing, fairness accounting) would be wrong without
+    any signal.  This entry point makes the contract explicit: every job
+    must share the same ``(sorter, kernels)`` and the same ``memory``
+    object (``ConfigError`` otherwise), and the validated group then runs
+    through the engine as exactly one group — same fallbacks, same
+    metrics, same synthesized span stream, same per-job bit-identity
+    contract as :func:`run_batch`.
+
+    Results are returned in job order.
+    """
+    if not jobs:
+        return []
+    first = jobs[0]
+    for job in jobs:
+        if (
+            job.sorter != first.sorter
+            or job.kernels != first.kernels
+            or job.memory is not first.memory
+        ):
+            raise ConfigError(
+                "run_job_group requires a same-config group: every job must"
+                " share sorter, kernels and the memory factory instance"
+                f" (got {job.sorter!r}/{job.kernels!r} vs"
+                f" {first.sorter!r}/{first.kernels!r}); use run_batch for"
+                " mixed-config batches"
+            )
+    return run_batch(list(jobs))
 
 
 def _emit_batch_spans(

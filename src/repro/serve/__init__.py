@@ -1,0 +1,51 @@
+"""Approx-refine sorting as a service (``python -m repro.serve``).
+
+A long-running asyncio TCP server speaking a newline-JSON protocol:
+clients submit sort jobs against named *tenant profiles* (each pinning a
+memory config, algorithm and kernel mode), an admission scheduler
+coalesces queued small requests into single batch-engine invocations,
+bounded queues push back with ``OVERLOADED`` + ``retry_after_s``, and a
+degradation policy raises ``T`` — never sheds load — under sustained
+pressure.  Responses are bit-identical to direct
+:func:`repro.core.approx_refine.run_approx_refine` calls with the same
+profile (the ``served_direct`` oracle class).  See docs/serving.md.
+"""
+
+from .client import LoadReport, ServiceError, SortServiceClient, run_load
+from .degrade import DegradePolicy, NoDegrade
+from .protocol import (
+    MAX_FRAME_BYTES,
+    MAX_KEYS_PER_REQUEST,
+    PROTOCOL_VERSION,
+    ProtocolError,
+)
+from .scheduler import AdmissionScheduler, ServedSort
+from .server import SortServer
+from .tenants import (
+    DEFAULT_PROFILES,
+    TenantProfile,
+    TenantRegistry,
+    load_profiles,
+    profile_from_dict,
+)
+
+__all__ = [
+    "AdmissionScheduler",
+    "DEFAULT_PROFILES",
+    "DegradePolicy",
+    "LoadReport",
+    "MAX_FRAME_BYTES",
+    "MAX_KEYS_PER_REQUEST",
+    "NoDegrade",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServedSort",
+    "ServiceError",
+    "SortServer",
+    "SortServiceClient",
+    "TenantProfile",
+    "TenantRegistry",
+    "load_profiles",
+    "profile_from_dict",
+    "run_load",
+]

@@ -1,0 +1,125 @@
+"""Graceful degradation under sustained load: raise ``T``, keep exactness.
+
+The service's unit of account is the paper's TEPMW — memory-write cost —
+so its overload valve is the paper's own knob: move tenants *up* their
+consented ``T`` ladder (``TenantProfile.degrade_ts``).  A higher ``T``
+writes each approximate word with fewer program-and-verify iterations
+(Fig 2a), so every queued job gets cheaper on the contended resource
+while the refine stage still guarantees exactly sorted output.  Shedding
+load would break clients for no modeled saving; degrading trades a
+little more refine work for strictly cheaper writes and keeps every
+response correct.  (DESIGN.md section 15 has the full argument.)
+
+The detector is deliberately boring and fully deterministic given its
+inputs: queue depth relative to capacity, debounced by time.
+
+* depth stays **above** ``high_watermark`` for ``sustain_s`` seconds
+  -> escalate one tier (and re-arm, so persistent overload keeps
+  climbing the ladder one sustained window at a time);
+* depth stays **below** ``low_watermark`` for ``recover_s`` seconds
+  -> recover one tier.
+
+The clock is injectable so tests drive it explicitly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+
+class DegradePolicy:
+    """Hysteresis detector mapping sustained queue pressure to a tier shift.
+
+    The policy tracks one *global* escalation level; each tenant's
+    effective tier clamps it to that tenant's own ladder length
+    (tenants with an empty ladder never degrade).  ``max_tier`` bounds
+    the level by the longest consented ladder.
+    """
+
+    def __init__(
+        self,
+        high_watermark: float = 0.75,
+        low_watermark: float = 0.25,
+        sustain_s: float = 2.0,
+        recover_s: float = 5.0,
+        max_tier: int = 8,
+        enabled: bool = True,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not 0.0 <= low_watermark < high_watermark <= 1.0:
+            raise ValueError(
+                "watermarks must satisfy 0 <= low < high <= 1, got"
+                f" low={low_watermark}, high={high_watermark}"
+            )
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.sustain_s = sustain_s
+        self.recover_s = recover_s
+        self.max_tier = max_tier
+        self.enabled = enabled
+        self._clock = clock
+        self._tier = 0
+        self._above_since: Optional[float] = None
+        self._below_since: Optional[float] = None
+        self._transitions = 0
+
+    @property
+    def tier(self) -> int:
+        """Current global escalation level (0 = every tenant at base T)."""
+        return self._tier
+
+    @property
+    def transitions(self) -> int:
+        """How many escalate/recover transitions have happened."""
+        return self._transitions
+
+    def observe(self, depth: int, capacity: int) -> int:
+        """Feed one queue-depth observation; returns the (new) tier.
+
+        Called by the scheduler on every admission and drain, so under
+        load the policy sees a dense stream and the debounce windows are
+        measured, not sampled.
+        """
+        if not self.enabled or capacity <= 0:
+            return self._tier
+        now = self._clock()
+        fill = depth / capacity
+        if fill >= self.high_watermark:
+            self._below_since = None
+            if self._above_since is None:
+                self._above_since = now
+            elif (
+                now - self._above_since >= self.sustain_s
+                and self._tier < self.max_tier
+            ):
+                self._tier += 1
+                self._transitions += 1
+                self._above_since = now  # re-arm: keep climbing if pinned
+        elif fill <= self.low_watermark:
+            self._above_since = None
+            if self._tier == 0:
+                self._below_since = None
+            elif self._below_since is None:
+                self._below_since = now
+            elif now - self._below_since >= self.recover_s:
+                self._tier -= 1
+                self._transitions += 1
+                self._below_since = now
+        else:
+            # Between the watermarks: hold, and require the *next* excursion
+            # to re-earn its full debounce window.
+            self._above_since = None
+            self._below_since = None
+        return self._tier
+
+
+class NoDegrade:
+    """Disabled policy: tier is always 0 (the bit-identity default)."""
+
+    enabled = False
+    tier = 0
+    transitions = 0
+
+    def observe(self, depth: int, capacity: int) -> int:
+        return 0

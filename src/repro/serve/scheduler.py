@@ -1,0 +1,379 @@
+"""Admission control and request batching for the sort service.
+
+The scheduler is the bridge between many small concurrent requests and
+the batch engine's one-kernel-dispatch-per-group execution model
+(:mod:`repro.batch`): it admits requests into one bounded FIFO queue,
+waits a short *coalescing window* for company, then drains the queue,
+buckets the drained jobs by execution config, and hands each bucket to
+:func:`repro.batch.run_job_group` — the request-scheduler-level
+analogue of the write-combining coalescing the kernels do per pass
+(DESIGN.md section 15).
+
+Three properties the server's contracts hang off:
+
+* **Bounded memory.**  Admission fails fast (``OVERLOADED`` with a
+  ``retry_after_s`` hint) when the queue is full; a per-tenant pending
+  cap keeps one flooding tenant from monopolizing the shared queue, so
+  a quiet tenant always finds room (fairness by reservation, not by
+  reordering).
+* **Order-preserving coalescing.**  Drained jobs execute grouped by
+  config but groups run in first-arrival order, and jobs inside a group
+  keep arrival order — so per-connection FIFO of responses is never
+  required by the protocol but per-job results are deterministic.
+* **Bit-identity.**  Batching is a pure performance decision (the
+  engine's contract): every response is bit-identical to a direct
+  looped call with the same tenant profile, verified end-to-end by the
+  ``served_direct`` oracle class.
+
+The scheduler owns the degradation hook: each admission stamps the job
+with the tenant's *effective tier* under the current
+:class:`~repro.serve.degrade.DegradePolicy` level, so one request's
+response is internally consistent even if the policy moves while the
+job is queued.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.batch import BatchJob, run_job_group
+from repro.obs import get_metrics
+
+from .degrade import DegradePolicy, NoDegrade
+from .protocol import (
+    OVERLOADED,
+    PAYLOAD_TOO_LARGE,
+    ProtocolError,
+    SHUTTING_DOWN,
+    UNKNOWN_TENANT,
+)
+from .tenants import TenantProfile, TenantRegistry
+
+#: Fallback service-rate guess (jobs/s) before the first drain completes.
+_BOOTSTRAP_RATE = 200.0
+
+#: Bounds on the OVERLOADED retry hint (seconds).
+_RETRY_MIN_S, _RETRY_MAX_S = 0.05, 5.0
+
+
+@dataclass
+class PendingJob:
+    """One admitted sort request waiting for (or in) a batch drain."""
+
+    tenant: str
+    profile: TenantProfile
+    tier: int
+    keys: list[int]
+    seed: int
+    future: asyncio.Future
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+
+@dataclass
+class ServedSort:
+    """What the scheduler resolves a job's future with."""
+
+    result: object  #: ApproxRefineResult or BaselineResult
+    tier: int
+    tier_t: Optional[float]
+    lane: str
+    queued_s: float
+    batch_jobs: int  #: size of the coalesced group this job rode in
+
+
+class AdmissionScheduler:
+    """Bounded-queue admission + windowed batching over the batch engine.
+
+    Parameters
+    ----------
+    tenants:
+        The profile registry (and shared memory-factory cache).
+    queue_depth:
+        Maximum admitted-but-unfinished jobs across all tenants.
+    per_tenant_depth:
+        Per-tenant pending cap (default: a quarter of ``queue_depth``,
+        at least 1) — the fairness reservation.
+    window_s:
+        Coalescing window: after the first job of an empty queue
+        arrives, how long to wait for more before draining.  ``0``
+        disables coalescing (every drain takes whatever is queued —
+        under one-at-a-time load that is single-job groups, the
+        no-batching baseline configuration).
+    max_batch:
+        Maximum jobs per drain; a full drain triggers immediately
+        without waiting out the window.
+    degrade:
+        A :class:`DegradePolicy` (or the :class:`NoDegrade` default).
+    """
+
+    def __init__(
+        self,
+        tenants: TenantRegistry,
+        queue_depth: int = 256,
+        per_tenant_depth: Optional[int] = None,
+        window_s: float = 0.002,
+        max_batch: int = 64,
+        degrade: "DegradePolicy | NoDegrade | None" = None,
+    ) -> None:
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.tenants = tenants
+        self.queue_depth = queue_depth
+        self.per_tenant_depth = (
+            per_tenant_depth
+            if per_tenant_depth is not None
+            else max(1, queue_depth // 4)
+        )
+        self.window_s = window_s
+        self.max_batch = max_batch
+        self.degrade = degrade if degrade is not None else NoDegrade()
+        self._queue: deque[PendingJob] = deque()
+        self._pending_per_tenant: dict[str, int] = {}
+        self._wakeup = asyncio.Event()
+        self._draining = False
+        self._stopped = asyncio.Event()
+        self._rate_jobs_per_s = _BOOTSTRAP_RATE
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-batch"
+        )
+        # Monotonic counters mirrored into the 'stats' op (metrics stay
+        # optional; these are always on and cheap).
+        self.accepted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        self.drains = 0
+        self.groups = 0
+
+    # ------------------------------------------------------------------ #
+    # Admission (event-loop side)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def depth(self) -> int:
+        """Jobs admitted and not yet handed to the engine."""
+        return len(self._queue)
+
+    def retry_after_s(self) -> float:
+        """Backoff hint: time to drain the current queue at the observed
+        service rate, clamped to sane bounds."""
+        estimate = (self.depth + 1) / max(self._rate_jobs_per_s, 1e-6)
+        return round(min(max(estimate, _RETRY_MIN_S), _RETRY_MAX_S), 3)
+
+    def admit(self, tenant: str, keys: list[int], seed: int) -> PendingJob:
+        """Admit one validated sort request or raise a protocol error.
+
+        Must be called from the event loop thread.  On success the
+        returned job's ``future`` resolves to a :class:`ServedSort` (or
+        an exception if the engine fails).
+        """
+        metrics = get_metrics()
+        if self._draining:
+            self._reject(metrics, "shutting_down")
+            raise ProtocolError(
+                SHUTTING_DOWN, "server is draining; not admitting new jobs"
+            )
+        profile = self.tenants.get(tenant)
+        if profile is None:
+            self._reject(metrics, "unknown_tenant")
+            raise ProtocolError(
+                UNKNOWN_TENANT,
+                f"unknown tenant {tenant!r}; registered:"
+                f" {', '.join(self.tenants.names())}",
+            )
+        if len(keys) > profile.max_keys:
+            self._reject(metrics, "payload")
+            raise ProtocolError(
+                PAYLOAD_TOO_LARGE,
+                f"{len(keys)} keys exceeds tenant {tenant!r}'s limit of"
+                f" {profile.max_keys}",
+            )
+        if self.depth >= self.queue_depth:
+            self._reject(metrics, "queue_full")
+            raise ProtocolError(
+                OVERLOADED,
+                f"queue full ({self.queue_depth} jobs); retry later",
+            )
+        pending = self._pending_per_tenant.get(tenant, 0)
+        if pending >= self.per_tenant_depth:
+            self._reject(metrics, "tenant_cap")
+            raise ProtocolError(
+                OVERLOADED,
+                f"tenant {tenant!r} already has {pending} jobs pending"
+                f" (cap {self.per_tenant_depth}); retry later",
+            )
+        tier = self.degrade.observe(self.depth, self.queue_depth)
+        job = PendingJob(
+            tenant=tenant,
+            profile=profile,
+            tier=tier,
+            keys=keys,
+            seed=seed,
+            future=asyncio.get_running_loop().create_future(),
+        )
+        self._queue.append(job)
+        self._pending_per_tenant[tenant] = pending + 1
+        self.accepted += 1
+        if metrics.enabled:
+            metrics.inc("serve.accepted", tenant=tenant)
+            metrics.gauge("serve.queue_depth", self.depth)
+        self._wakeup.set()
+        return job
+
+    def _reject(self, metrics, reason: str) -> None:
+        self.rejected += 1
+        if metrics.enabled:
+            metrics.inc("serve.rejected", reason=reason)
+
+    # ------------------------------------------------------------------ #
+    # Batching loop (background task)
+    # ------------------------------------------------------------------ #
+
+    async def run(self) -> None:
+        """Drain-and-execute loop; returns after :meth:`drain` once the
+        queue is empty and every admitted job is resolved."""
+        try:
+            while True:
+                if not self._queue:
+                    if self._draining:
+                        break
+                    self._wakeup.clear()
+                    await self._wakeup.wait()
+                    continue
+                # Coalescing window: the queue is non-empty; give small
+                # requests a moment to pile up unless a full batch is
+                # already waiting (or we're draining for shutdown).
+                if (
+                    self.window_s > 0
+                    and not self._draining
+                    and len(self._queue) < self.max_batch
+                ):
+                    await asyncio.sleep(self.window_s)
+                drained = [
+                    self._queue.popleft()
+                    for _ in range(min(len(self._queue), self.max_batch))
+                ]
+                await self._execute_drain(drained)
+        finally:
+            self._executor.shutdown(wait=False)
+            self._stopped.set()
+
+    async def _execute_drain(self, drained: list[PendingJob]) -> None:
+        """Group one drain by execution config and run each group batched."""
+        metrics = get_metrics()
+        self.drains += 1
+        self.degrade.observe(self.depth, self.queue_depth)
+        groups: dict[tuple, list[PendingJob]] = {}
+        for job in drained:
+            memory = self.tenants.memory_for(job.profile, job.tier)
+            key = (
+                job.profile.sorter,
+                job.profile.kernels,
+                id(memory) if memory is not None else None,
+            )
+            groups.setdefault(key, []).append(job)
+        loop = asyncio.get_running_loop()
+        t0 = time.perf_counter()
+        for group in groups.values():
+            self.groups += 1
+            batch_jobs = [
+                BatchJob(
+                    keys=job.keys,
+                    sorter=job.profile.sorter,
+                    memory=self.tenants.memory_for(job.profile, job.tier),
+                    seed=job.seed,
+                    kernels=job.profile.kernels,
+                )
+                for job in group
+            ]
+            try:
+                results = await loop.run_in_executor(
+                    self._executor, run_job_group, batch_jobs
+                )
+            except Exception as exc:  # engine failure: fail the group only
+                self.failed += len(group)
+                if metrics.enabled:
+                    metrics.inc("serve.failed", value=len(group))
+                for job in group:
+                    self._finish(job)
+                    if not job.future.done():
+                        job.future.set_exception(exc)
+                continue
+            now = time.perf_counter()
+            for job, result in zip(group, results):
+                self._finish(job)
+                self.completed += 1
+                queued_s = now - job.enqueued_at
+                if metrics.enabled:
+                    metrics.observe(
+                        "serve.request_s", queued_s, tenant=job.tenant
+                    )
+                if not job.future.done():
+                    job.future.set_result(ServedSort(
+                        result=result,
+                        tier=job.tier,
+                        tier_t=job.profile.tier_t(job.tier),
+                        lane=job.profile.lane,
+                        queued_s=queued_s,
+                        batch_jobs=len(group),
+                    ))
+        elapsed = time.perf_counter() - t0
+        if elapsed > 0:
+            # EWMA of the drain service rate feeds the retry_after hint.
+            instant = len(drained) / elapsed
+            self._rate_jobs_per_s = (
+                0.7 * self._rate_jobs_per_s + 0.3 * instant
+            )
+        if metrics.enabled:
+            metrics.inc("serve.drains")
+            metrics.inc("serve.jobs_batched", value=len(drained))
+            metrics.observe("serve.drain_jobs", len(drained))
+            metrics.gauge("serve.queue_depth", self.depth)
+            metrics.gauge("serve.degrade_tier", self.degrade.tier)
+
+    def _finish(self, job: PendingJob) -> None:
+        remaining = self._pending_per_tenant.get(job.tenant, 1) - 1
+        if remaining:
+            self._pending_per_tenant[job.tenant] = remaining
+        else:
+            self._pending_per_tenant.pop(job.tenant, None)
+
+    # ------------------------------------------------------------------ #
+    # Shutdown
+    # ------------------------------------------------------------------ #
+
+    async def drain(self) -> None:
+        """Stop admitting, finish every queued job, stop the loop.
+
+        Every job admitted before the call still resolves — accepted
+        work is never dropped (tested by the shutdown-drain suite).
+        """
+        self._draining = True
+        self._wakeup.set()
+        await self._stopped.wait()
+
+    def stats(self) -> dict:
+        """Counters for the ``stats`` op and the load generator."""
+        return {
+            "queue_depth": self.depth,
+            "queue_capacity": self.queue_depth,
+            "per_tenant_depth": self.per_tenant_depth,
+            "window_s": self.window_s,
+            "max_batch": self.max_batch,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "failed": self.failed,
+            "drains": self.drains,
+            "groups": self.groups,
+            "degrade_tier": self.degrade.tier,
+            "degrade_transitions": self.degrade.transitions,
+            "service_rate_jobs_per_s": round(self._rate_jobs_per_s, 1),
+        }

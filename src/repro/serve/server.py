@@ -1,0 +1,330 @@
+"""The asyncio sort server: approx-sort as a service (ROADMAP item 1).
+
+``SortServer`` ties the pieces together: the newline-JSON protocol
+(:mod:`.protocol`), the tenant registry (:mod:`.tenants`), the
+admission/batching scheduler (:mod:`.scheduler`) and the degradation
+policy (:mod:`.degrade`), with telemetry through the process metrics
+registry (:mod:`repro.obs.metrics`).
+
+Concurrency model: the event loop owns every connection and the
+admission queue; the CPU-bound engine work runs on the scheduler's
+single worker thread (one batch at a time — the engine is itself
+vectorized, a second engine thread would only fight the GIL), so the
+loop keeps accepting, validating and answering while a batch computes.
+
+Graceful shutdown (the ``shutdown`` op, ``SIGINT``/``SIGTERM``, or
+:meth:`SortServer.shutdown`): stop admitting (late requests get
+``SHUTTING_DOWN``), drain the queue through the engine, answer every
+accepted job, then close listeners and connections.  Accepted jobs are
+never dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.obs import get_metrics
+from repro.obs.metrics import snapshot_to_prometheus
+
+from . import protocol
+from .degrade import DegradePolicy, NoDegrade
+from .protocol import ProtocolError
+from .scheduler import AdmissionScheduler, ServedSort
+from .tenants import DEFAULT_PROFILES, TenantRegistry
+
+
+class SortServer:
+    """A long-running multi-tenant sort/refine service over TCP.
+
+    Parameters mirror the CLI (``python -m repro.serve``); every default
+    is chosen so ``SortServer()`` in a test or docs example just works
+    on an ephemeral port.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        profiles=DEFAULT_PROFILES,
+        queue_depth: int = 256,
+        per_tenant_depth: Optional[int] = None,
+        window_s: float = 0.002,
+        max_batch: int = 64,
+        degrade: "DegradePolicy | NoDegrade | None" = None,
+        max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.max_frame_bytes = max_frame_bytes
+        self.tenants = (
+            profiles
+            if isinstance(profiles, TenantRegistry)
+            else TenantRegistry(profiles)
+        )
+        self.scheduler = AdmissionScheduler(
+            self.tenants,
+            queue_depth=queue_depth,
+            per_tenant_depth=per_tenant_depth,
+            window_s=window_s,
+            max_batch=max_batch,
+            degrade=degrade,
+        )
+        self.started_at = time.perf_counter()
+        self.connections = 0
+        self.disconnected_midflight = 0
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._scheduler_task: Optional[asyncio.Task] = None
+        self._shutdown_requested = asyncio.Event()
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._inflight: set[asyncio.Task] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> None:
+        """Warm the tenant models, bind, and begin serving."""
+        self.tenants.warm()
+        self._scheduler_task = asyncio.create_task(self.scheduler.run())
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=self.max_frame_bytes,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(
+        self, port_file: "str | Path | None" = None
+    ) -> None:
+        """:meth:`start`, optionally publish the bound port, then block
+        until a shutdown is requested and the drain completes."""
+        await self.start()
+        if port_file is not None:
+            Path(port_file).write_text(f"{self.port}\n", encoding="utf-8")
+        await self._shutdown_requested.wait()
+        await self._drain_and_close()
+
+    def shutdown(self) -> None:
+        """Request graceful shutdown (signal-handler and op safe)."""
+        self._shutdown_requested.set()
+
+    async def _drain_and_close(self) -> None:
+        # Stop accepting new connections first, then drain accepted work.
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.scheduler.drain()
+        if self._scheduler_task is not None:
+            await self._scheduler_task
+        # Every accepted job is resolved now; let the per-request tasks
+        # deliver their responses before hanging up.
+        if self._inflight:
+            await asyncio.gather(*list(self._inflight),
+                                 return_exceptions=True)
+        for writer in list(self._writers):
+            with contextlib.suppress(Exception):
+                writer.close()
+        # Closed transports feed EOF to their readers; wait for the
+        # connection handlers to notice and exit, so no task is left to
+        # be cancelled mid-readline when the event loop closes.
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks),
+                                 return_exceptions=True)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.export()
+
+    async def aclose(self) -> None:
+        """Shutdown + drain, for in-process embedding (tests, oracle)."""
+        self.shutdown()
+        await self._drain_and_close()
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        self._writers.add(writer)
+        current = asyncio.current_task()
+        if current is not None:
+            self._conn_tasks.add(current)
+            current.add_done_callback(self._conn_tasks.discard)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("serve.connections")
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # An over-limit line cannot be skipped reliably: the
+                    # stream has no resync point, so answer and hang up.
+                    await self._send(writer, protocol.error_response(
+                        protocol.PAYLOAD_TOO_LARGE,
+                        f"frame exceeds {self.max_frame_bytes} bytes;"
+                        " closing connection",
+                    ))
+                    break
+                if not line:
+                    break  # EOF: client finished sending
+                if not line.strip():
+                    continue
+                if not await self._handle_frame(writer, line, tasks):
+                    break
+        except ConnectionError:
+            pass
+        finally:
+            # A half-closing client (``printf ... | nc``) still gets its
+            # answers: in-flight sorts of this connection finish first.
+            if tasks:
+                await asyncio.gather(*list(tasks), return_exceptions=True)
+            self._writers.discard(writer)
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    async def _handle_frame(
+        self,
+        writer: asyncio.StreamWriter,
+        line: bytes,
+        tasks: set[asyncio.Task],
+    ) -> bool:
+        """Process one request line; False means close the connection.
+
+        ``sort`` requests are dispatched to their own task so one
+        connection can pipeline many jobs into a single coalescing
+        window; responses carry the request ``id`` precisely because
+        they may complete out of order.
+        """
+        try:
+            request = protocol.decode_request(line)
+        except ProtocolError as exc:
+            await self._send(writer, protocol.error_response(
+                exc.code, exc.message, exc.request_id
+            ))
+            return True
+        op = request["op"]
+        request_id = request.get("id")
+        if op == "ping":
+            await self._send(writer, protocol.ok_response("ping", request_id))
+            return True
+        if op == "profiles":
+            tier = self.scheduler.degrade.tier
+            await self._send(writer, protocol.ok_response(
+                "profiles", request_id,
+                profiles=self.tenants.describe(
+                    {name: tier for name in self.tenants.names()}
+                ),
+            ))
+            return True
+        if op == "stats":
+            payload = self.scheduler.stats()
+            payload.update(
+                connections=self.connections,
+                disconnected_midflight=self.disconnected_midflight,
+                uptime_s=round(time.perf_counter() - self.started_at, 3),
+            )
+            await self._send(writer, protocol.ok_response(
+                "stats", request_id, stats=payload
+            ))
+            return True
+        if op == "metrics":
+            await self._send(writer, protocol.ok_response(
+                "metrics", request_id,
+                prometheus=snapshot_to_prometheus(get_metrics().snapshot()),
+            ))
+            return True
+        if op == "shutdown":
+            await self._send(writer, protocol.ok_response(
+                "shutdown", request_id, draining=self.scheduler.depth
+            ))
+            self.shutdown()
+            return True
+        # op == "sort" (decode_request already rejected unknown ops).
+        # Each sort runs in its own task: tasks start in frame order (so
+        # admission — and backpressure — stays FIFO), but responses are
+        # free to complete out of order once jobs are queued.
+        task = asyncio.create_task(self._handle_sort(writer, request))
+        tasks.add(task)
+        self._inflight.add(task)
+        task.add_done_callback(tasks.discard)
+        task.add_done_callback(self._inflight.discard)
+        return True
+
+    async def _handle_sort(
+        self, writer: asyncio.StreamWriter, request: dict
+    ) -> bool:
+        request_id = request.get("id")
+        try:
+            tenant, keys, seed = protocol.validate_sort_request(request)
+            profile = self.tenants.get(tenant)
+            job = self.scheduler.admit(tenant, keys, seed)
+        except ProtocolError as exc:
+            retry = (
+                self.scheduler.retry_after_s()
+                if exc.code == protocol.OVERLOADED
+                else None
+            )
+            await self._send(writer, protocol.error_response(
+                exc.code, exc.message, request_id, retry_after_s=retry
+            ))
+            return True
+        assert profile is not None  # admit() validated the tenant
+        try:
+            served: ServedSort = await job.future
+        except Exception as exc:
+            await self._send(writer, protocol.error_response(
+                protocol.INTERNAL,
+                f"{type(exc).__name__}: {exc}",
+                request_id,
+            ))
+            return True
+        result = served.result
+        payload = {
+            "tenant": tenant,
+            "n": result.n,
+            "keys": result.final_keys,
+            "ids": result.final_ids,
+            "stats": result.stats.as_dict(),
+            "lane": served.lane,
+            "tier": served.tier,
+            "tier_t": served.tier_t,
+            "degraded": served.tier > 0,
+            "seed": seed,
+            "sorter": profile.sorter,
+            "kernels": profile.kernels,
+            "queued_ms": round(served.queued_s * 1000, 3),
+            "batch_jobs": served.batch_jobs,
+        }
+        if served.lane == "approx":
+            payload["rem_tilde"] = result.rem_tilde
+        sent = await self._send(
+            writer, protocol.ok_response("sort", request_id, **payload)
+        )
+        if not sent:
+            self.disconnected_midflight += 1
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.inc("serve.disconnected_midflight")
+            return False
+        return True
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, payload: dict
+    ) -> bool:
+        """Write one frame; False when the client is gone (never raises)."""
+        try:
+            writer.write(protocol.encode_frame(payload))
+            await writer.drain()
+            return True
+        except (ConnectionError, RuntimeError, OSError):
+            return False

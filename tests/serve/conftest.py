@@ -1,0 +1,50 @@
+"""Serve-suite fixtures: small-fit tenant profiles and an in-process server.
+
+Profiles pin ``fit_samples`` to the suite-wide ``TEST_FIT_SAMPLES`` so
+the serve tests share fitted error models with the rest of the suite
+through the process-wide model cache.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+import pytest
+
+from repro.serve import SortServer, TenantProfile
+
+from ..conftest import TEST_FIT_SAMPLES
+
+TEST_PROFILES = (
+    TenantProfile(
+        name="fast", lane="approx", sorter="lsd6", t=0.055,
+        degrade_ts=(0.07, 0.1), fit_samples=TEST_FIT_SAMPLES,
+    ),
+    TenantProfile(
+        name="merge", lane="approx", sorter="mergesort", t=0.055,
+        fit_samples=TEST_FIT_SAMPLES,
+    ),
+    TenantProfile(name="precise", lane="precise", sorter="mergesort"),
+)
+
+
+@pytest.fixture
+def profiles() -> tuple:
+    return TEST_PROFILES
+
+
+@contextlib.asynccontextmanager
+async def running_server(**kwargs):
+    """An in-process :class:`SortServer` on an ephemeral port."""
+    kwargs.setdefault("profiles", TEST_PROFILES)
+    server = SortServer(**kwargs)
+    await server.start()
+    try:
+        yield server
+    finally:
+        await server.aclose()
+
+
+async def open_client(server) -> tuple:
+    return await asyncio.open_connection(server.host, server.port)

@@ -1,0 +1,120 @@
+"""Degradation policy: hysteresis, debounce, recovery — via a fake clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import DegradePolicy, NoDegrade
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_policy(**kwargs) -> tuple[DegradePolicy, FakeClock]:
+    clock = FakeClock()
+    kwargs.setdefault("sustain_s", 2.0)
+    kwargs.setdefault("recover_s", 5.0)
+    policy = DegradePolicy(clock=clock, **kwargs)
+    return policy, clock
+
+
+class TestEscalation:
+    def test_brief_spike_does_not_escalate(self):
+        policy, clock = make_policy()
+        assert policy.observe(90, 100) == 0
+        clock.advance(1.9)
+        assert policy.observe(90, 100) == 0
+
+    def test_sustained_pressure_escalates(self):
+        policy, clock = make_policy()
+        policy.observe(90, 100)
+        clock.advance(2.0)
+        assert policy.observe(90, 100) == 1
+        assert policy.transitions == 1
+
+    def test_pinned_overload_keeps_climbing_one_window_at_a_time(self):
+        policy, clock = make_policy()
+        policy.observe(100, 100)
+        for expected in (1, 2, 3):
+            clock.advance(2.0)
+            assert policy.observe(100, 100) == expected
+
+    def test_max_tier_caps_escalation(self):
+        policy, clock = make_policy(max_tier=1)
+        policy.observe(100, 100)
+        clock.advance(2.0)
+        assert policy.observe(100, 100) == 1
+        clock.advance(20.0)
+        assert policy.observe(100, 100) == 1
+
+    def test_mid_band_excursion_resets_the_debounce(self):
+        policy, clock = make_policy()
+        policy.observe(90, 100)
+        clock.advance(1.5)
+        policy.observe(50, 100)   # between watermarks: re-arm
+        clock.advance(1.5)
+        policy.observe(90, 100)   # a fresh excursion starts counting anew
+        clock.advance(1.5)
+        assert policy.observe(90, 100) == 0
+        clock.advance(0.5)
+        assert policy.observe(90, 100) == 1
+
+
+class TestRecovery:
+    def escalated(self) -> tuple[DegradePolicy, FakeClock]:
+        policy, clock = make_policy()
+        policy.observe(100, 100)
+        clock.advance(2.0)
+        policy.observe(100, 100)
+        assert policy.tier == 1
+        return policy, clock
+
+    def test_recovers_after_quiet_window(self):
+        policy, clock = self.escalated()
+        policy.observe(0, 100)
+        clock.advance(5.0)
+        assert policy.observe(0, 100) == 0
+        assert policy.transitions == 2
+
+    def test_short_lull_does_not_recover(self):
+        policy, clock = self.escalated()
+        policy.observe(0, 100)
+        clock.advance(4.9)
+        assert policy.observe(0, 100) == 1
+
+    def test_tier_zero_never_goes_negative(self):
+        policy, clock = make_policy()
+        policy.observe(0, 100)
+        clock.advance(50.0)
+        assert policy.observe(0, 100) == 0
+
+
+class TestConfig:
+    def test_bad_watermarks_rejected(self):
+        with pytest.raises(ValueError, match="watermarks"):
+            DegradePolicy(high_watermark=0.2, low_watermark=0.5)
+
+    def test_disabled_policy_never_moves(self):
+        policy, clock = make_policy(enabled=False)
+        policy.observe(100, 100)
+        clock.advance(100.0)
+        assert policy.observe(100, 100) == 0
+
+    def test_zero_capacity_is_a_noop(self):
+        policy, _ = make_policy()
+        assert policy.observe(10, 0) == 0
+
+    def test_nodegrade_null_object(self):
+        policy = NoDegrade()
+        assert policy.observe(100, 100) == 0
+        assert policy.tier == 0
+        assert policy.transitions == 0
+        assert policy.enabled is False

@@ -1,0 +1,140 @@
+"""Wire-protocol edge cases: framing, validation, error codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.memory.approx_array import WORD_LIMIT
+from repro.serve import protocol
+from repro.serve.protocol import ProtocolError
+
+
+def frame(payload: dict) -> bytes:
+    return protocol.encode_frame(payload)
+
+
+class TestEncodeFrame:
+    def test_newline_terminated_compact_json(self):
+        raw = frame({"op": "ping", "id": 1})
+        assert raw.endswith(b"\n")
+        assert b": " not in raw  # compact separators
+        assert json.loads(raw) == {"op": "ping", "id": 1}
+
+    def test_round_trip_preserves_floats_exactly(self):
+        value = 28.148207312744045
+        raw = frame({"x": value})
+        assert json.loads(raw)["x"] == value
+
+
+class TestDecodeRequest:
+    def test_valid(self):
+        request = protocol.decode_request(frame({"op": "ping", "id": "a"}))
+        assert request == {"op": "ping", "id": "a"}
+
+    def test_malformed_json_is_bad_frame(self):
+        with pytest.raises(ProtocolError) as info:
+            protocol.decode_request(b"this is not json\n")
+        assert info.value.code == protocol.BAD_FRAME
+
+    def test_non_object_is_bad_frame(self):
+        with pytest.raises(ProtocolError) as info:
+            protocol.decode_request(b"[1, 2, 3]\n")
+        assert info.value.code == protocol.BAD_FRAME
+
+    def test_non_utf8_is_bad_frame(self):
+        with pytest.raises(ProtocolError) as info:
+            protocol.decode_request(b"\xff\xfe{}\n")
+        assert info.value.code == protocol.BAD_FRAME
+
+    def test_missing_op_is_bad_request(self):
+        with pytest.raises(ProtocolError) as info:
+            protocol.decode_request(frame({"id": 1}))
+        assert info.value.code == protocol.BAD_REQUEST
+
+    def test_unknown_op(self):
+        with pytest.raises(ProtocolError) as info:
+            protocol.decode_request(frame({"op": "fly"}))
+        assert info.value.code == protocol.UNKNOWN_OP
+
+    def test_error_carries_request_id_when_parseable(self):
+        with pytest.raises(ProtocolError) as info:
+            protocol.decode_request(frame({"op": "fly", "id": 42}))
+        assert info.value.request_id == 42
+
+    def test_unhashable_id_is_bad_request(self):
+        with pytest.raises(ProtocolError) as info:
+            protocol.decode_request(frame({"op": "ping", "id": [1]}))
+        assert info.value.code == protocol.BAD_REQUEST
+
+
+class TestValidateSortRequest:
+    def good(self) -> dict:
+        return {"op": "sort", "tenant": "fast", "keys": [3, 1, 2], "seed": 5}
+
+    def test_valid(self):
+        tenant, keys, seed = protocol.validate_sort_request(self.good())
+        assert (tenant, keys, seed) == ("fast", [3, 1, 2], 5)
+
+    def test_seed_defaults_to_zero(self):
+        request = self.good()
+        del request["seed"]
+        assert protocol.validate_sort_request(request)[2] == 0
+
+    @pytest.mark.parametrize("mutate", [
+        lambda r: r.pop("tenant"),
+        lambda r: r.update(tenant=7),
+        lambda r: r.pop("keys"),
+        lambda r: r.update(keys="123"),
+        lambda r: r.update(keys=[1, "two"]),
+        lambda r: r.update(keys=[1, True]),
+        lambda r: r.update(keys=[1, -1]),
+        lambda r: r.update(keys=[1, WORD_LIMIT]),
+        lambda r: r.update(seed="x"),
+        lambda r: r.update(seed=True),
+    ])
+    def test_rejects_bad_shapes(self, mutate):
+        request = self.good()
+        mutate(request)
+        with pytest.raises(ProtocolError) as info:
+            protocol.validate_sort_request(request)
+        assert info.value.code == protocol.BAD_REQUEST
+
+    def test_word_limit_boundary_is_valid(self):
+        request = self.good()
+        request["keys"] = [0, WORD_LIMIT - 1]
+        assert protocol.validate_sort_request(request)[1] == [
+            0, WORD_LIMIT - 1
+        ]
+
+    def test_max_keys_cap(self):
+        request = self.good()
+        request["keys"] = [1, 2, 3]
+        with pytest.raises(ProtocolError) as info:
+            protocol.validate_sort_request(request, max_keys=2)
+        assert info.value.code == protocol.PAYLOAD_TOO_LARGE
+
+
+class TestResponses:
+    def test_ok_response_shape(self):
+        payload = protocol.ok_response("sort", 9, keys=[1])
+        assert payload["ok"] is True
+        assert payload["v"] == protocol.PROTOCOL_VERSION
+        assert payload["op"] == "sort"
+        assert payload["id"] == 9
+        assert payload["keys"] == [1]
+
+    def test_error_response_shape(self):
+        payload = protocol.error_response(
+            protocol.OVERLOADED, "queue full", 3, retry_after_s=0.25
+        )
+        assert payload["ok"] is False
+        assert payload["error"]["code"] == protocol.OVERLOADED
+        assert payload["retry_after_s"] == 0.25
+        assert payload["id"] == 3
+
+    def test_error_response_omits_absent_fields(self):
+        payload = protocol.error_response(protocol.BAD_FRAME, "nope")
+        assert "id" not in payload
+        assert "retry_after_s" not in payload

@@ -1,0 +1,203 @@
+"""Admission scheduler: backpressure, fairness, coalescing, drain."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve import AdmissionScheduler, TenantRegistry
+from repro.serve.protocol import (
+    OVERLOADED,
+    PAYLOAD_TOO_LARGE,
+    ProtocolError,
+    SHUTTING_DOWN,
+    UNKNOWN_TENANT,
+)
+from repro.workloads.generators import uniform_keys
+
+from .conftest import TEST_PROFILES
+
+
+def make_scheduler(**kwargs) -> AdmissionScheduler:
+    kwargs.setdefault("window_s", 0.005)
+    return AdmissionScheduler(TenantRegistry(TEST_PROFILES), **kwargs)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAdmissionErrors:
+    def test_unknown_tenant(self):
+        async def main():
+            scheduler = make_scheduler()
+            with pytest.raises(ProtocolError) as info:
+                scheduler.admit("nobody", [1, 2], 0)
+            assert info.value.code == UNKNOWN_TENANT
+            assert scheduler.rejected == 1
+        run(main())
+
+    def test_payload_over_profile_cap(self):
+        async def main():
+            scheduler = make_scheduler()
+            profile = scheduler.tenants.get("fast")
+            too_many = [1] * (profile.max_keys + 1)
+            with pytest.raises(ProtocolError) as info:
+                scheduler.admit("fast", too_many, 0)
+            assert info.value.code == PAYLOAD_TOO_LARGE
+        run(main())
+
+    def test_queue_full_is_overloaded(self):
+        async def main():
+            scheduler = make_scheduler(queue_depth=2, per_tenant_depth=2)
+            scheduler.admit("fast", [1], 0)
+            scheduler.admit("fast", [2], 0)
+            with pytest.raises(ProtocolError) as info:
+                scheduler.admit("fast", [3], 0)
+            assert info.value.code == OVERLOADED
+        run(main())
+
+    def test_per_tenant_cap_preserves_room_for_quiet_tenants(self):
+        async def main():
+            scheduler = make_scheduler(queue_depth=8, per_tenant_depth=1)
+            scheduler.admit("fast", [1], 0)
+            with pytest.raises(ProtocolError) as info:
+                scheduler.admit("fast", [2], 0)
+            assert info.value.code == OVERLOADED
+            # The flooding tenant is capped, but another tenant still fits.
+            scheduler.admit("precise", [3], 0)
+        run(main())
+
+    def test_draining_rejects_with_shutting_down(self):
+        async def main():
+            scheduler = make_scheduler()
+            task = asyncio.create_task(scheduler.run())
+            await scheduler.drain()
+            with pytest.raises(ProtocolError) as info:
+                scheduler.admit("fast", [1], 0)
+            assert info.value.code == SHUTTING_DOWN
+            await task
+        run(main())
+
+    def test_retry_after_hint_is_bounded(self):
+        async def main():
+            scheduler = make_scheduler(queue_depth=4, per_tenant_depth=4)
+            assert 0.05 <= scheduler.retry_after_s() <= 5.0
+            for i in range(4):
+                scheduler.admit("fast", [i], 0)
+            assert 0.05 <= scheduler.retry_after_s() <= 5.0
+        run(main())
+
+
+class TestCoalescing:
+    def test_window_coalesces_same_config_jobs_into_one_group(self):
+        async def main():
+            scheduler = make_scheduler(window_s=0.05)
+            task = asyncio.create_task(scheduler.run())
+            jobs = [
+                scheduler.admit("precise", uniform_keys(16, seed=i), 0)
+                for i in range(6)
+            ]
+            served = await asyncio.gather(*(job.future for job in jobs))
+            assert scheduler.drains == 1
+            assert scheduler.groups == 1
+            assert all(s.batch_jobs == 6 for s in served)
+            assert all(s.lane == "precise" for s in served)
+            await scheduler.drain()
+            await task
+        run(main())
+
+    def test_mixed_tenants_split_into_config_groups(self):
+        async def main():
+            scheduler = make_scheduler(window_s=0.05)
+            task = asyncio.create_task(scheduler.run())
+            jobs = [
+                scheduler.admit(tenant, uniform_keys(16, seed=i), i)
+                for i, tenant in enumerate(
+                    ("fast", "precise", "fast", "merge")
+                )
+            ]
+            served = await asyncio.gather(*(job.future for job in jobs))
+            assert scheduler.drains == 1
+            assert scheduler.groups == 3  # fast×2 coalesce; others alone
+            assert served[0].batch_jobs == 2
+            assert served[1].batch_jobs == 1
+            await scheduler.drain()
+            await task
+        run(main())
+
+    def test_zero_window_still_serves(self):
+        async def main():
+            scheduler = make_scheduler(window_s=0.0)
+            task = asyncio.create_task(scheduler.run())
+            job = scheduler.admit("fast", uniform_keys(32, seed=1), 5)
+            served = await job.future
+            assert served.result.final_keys == sorted(
+                uniform_keys(32, seed=1)
+            )
+            await scheduler.drain()
+            await task
+        run(main())
+
+    def test_max_batch_bounds_one_drain(self):
+        async def main():
+            scheduler = make_scheduler(window_s=0.05, max_batch=4)
+            task = asyncio.create_task(scheduler.run())
+            jobs = [
+                scheduler.admit("precise", uniform_keys(8, seed=i), 0)
+                for i in range(6)
+            ]
+            served = await asyncio.gather(*(job.future for job in jobs))
+            assert scheduler.drains >= 2
+            assert max(s.batch_jobs for s in served) <= 4
+            await scheduler.drain()
+            await task
+        run(main())
+
+
+class TestDrain:
+    def test_drain_resolves_every_accepted_job(self):
+        async def main():
+            scheduler = make_scheduler(window_s=0.2)  # jobs sit queued
+            task = asyncio.create_task(scheduler.run())
+            jobs = [
+                scheduler.admit("precise", uniform_keys(8, seed=i), 0)
+                for i in range(5)
+            ]
+            await scheduler.drain()  # cuts the window short, runs the queue
+            await task
+            served = [job.future.result() for job in jobs]
+            assert len(served) == 5
+            assert scheduler.completed == 5
+            assert all(
+                s.result.final_keys == sorted(uniform_keys(8, seed=i))
+                for i, s in enumerate(served)
+            )
+        run(main())
+
+    def test_engine_failure_fails_only_that_group(self):
+        async def main():
+            scheduler = make_scheduler(window_s=0.05)
+            task = asyncio.create_task(scheduler.run())
+            good = scheduler.admit("precise", uniform_keys(8, seed=1), 0)
+            bad = scheduler.admit("fast", uniform_keys(8, seed=2), 0)
+            # Sabotage the approx group only: break its memory factory.
+            profile = scheduler.tenants.get("fast")
+            memory = scheduler.tenants.memory_for(profile)
+            original = memory.make_array
+            memory.make_array = None  # engine will raise trying to call it
+            try:
+                served = await good.future
+                with pytest.raises(TypeError):
+                    await bad.future
+            finally:
+                memory.make_array = original
+            assert served.result.final_keys == sorted(
+                uniform_keys(8, seed=1)
+            )
+            assert scheduler.failed == 1
+            assert scheduler.completed == 1
+            await scheduler.drain()
+            await task
+        run(main())

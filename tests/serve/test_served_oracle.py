@@ -1,0 +1,34 @@
+"""The ``served_direct`` oracle class: serving is a pure transport."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify.oracle import (
+    BIT_CLASSES,
+    EQUIVALENCE_CLASSES,
+    OracleCase,
+    run_case,
+)
+
+
+def test_served_direct_is_a_registered_bit_class():
+    assert "served_direct" in EQUIVALENCE_CLASSES
+    assert "served_direct" in BIT_CLASSES
+
+
+@pytest.mark.parametrize("algorithm", ["lsd6", "mergesort"])
+def test_served_direct_passes(algorithm):
+    result = run_case(
+        OracleCase(algorithm=algorithm, n=80),
+        classes=["served_direct"],
+    )
+    assert result.passed, [d.describe() for d in result.divergences]
+
+
+def test_served_direct_covers_extra_workloads():
+    result = run_case(
+        OracleCase(algorithm="lsd6", workload="max_word", n=40),
+        classes=["served_direct"],
+    )
+    assert result.passed, [d.describe() for d in result.divergences]

@@ -1,0 +1,333 @@
+"""End-to-end server tests over real TCP: ops, edge cases, shutdown drain."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.core.approx_refine import run_approx_refine, run_precise_baseline
+from repro.serve import DegradePolicy, protocol
+from repro.verify.oracle import memory_for
+from repro.workloads.generators import uniform_keys
+
+from ..conftest import TEST_FIT_SAMPLES
+from .conftest import open_client, running_server
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def roundtrip(reader, writer, payload: dict) -> dict:
+    writer.write(protocol.encode_frame(payload))
+    await writer.drain()
+    return json.loads(await reader.readline())
+
+
+class TestOps:
+    def test_ping_profiles_stats_metrics(self):
+        async def main():
+            async with running_server() as server:
+                reader, writer = await open_client(server)
+                assert (await roundtrip(
+                    reader, writer, {"op": "ping", "id": 1}
+                ))["ok"]
+                profiles = await roundtrip(reader, writer, {"op": "profiles"})
+                assert [p["name"] for p in profiles["profiles"]] == [
+                    "fast", "merge", "precise"
+                ]
+                stats = (await roundtrip(
+                    reader, writer, {"op": "stats"}
+                ))["stats"]
+                assert stats["queue_capacity"] == 256
+                assert stats["connections"] == 1
+                metrics = await roundtrip(reader, writer, {"op": "metrics"})
+                assert isinstance(metrics["prometheus"], str)
+                writer.close()
+        run(main())
+
+    def test_sort_matches_direct_calls_bit_for_bit(self):
+        async def main():
+            async with running_server() as server:
+                reader, writer = await open_client(server)
+                keys = uniform_keys(200, seed=3)
+
+                served = await roundtrip(reader, writer, {
+                    "op": "sort", "tenant": "fast", "keys": keys,
+                    "seed": 11, "id": "a",
+                })
+                direct = run_approx_refine(
+                    keys, "lsd6",
+                    memory_for(0.055), seed=11, kernels="numpy",
+                )
+                assert served["keys"] == direct.final_keys
+                assert served["ids"] == direct.final_ids
+                assert served["stats"] == direct.stats.as_dict()
+                assert served["rem_tilde"] == direct.rem_tilde
+                assert served["tier"] == 0
+                assert served["degraded"] is False
+
+                served = await roundtrip(reader, writer, {
+                    "op": "sort", "tenant": "precise", "keys": keys,
+                })
+                direct = run_precise_baseline(
+                    keys, "mergesort", kernels="numpy"
+                )
+                assert served["keys"] == direct.final_keys
+                assert served["stats"] == direct.stats.as_dict()
+                assert "rem_tilde" not in served
+                writer.close()
+        run(main())
+
+    def test_pipelined_requests_coalesce(self):
+        async def main():
+            async with running_server(window_s=0.05) as server:
+                reader, writer = await open_client(server)
+                for i in range(5):
+                    writer.write(protocol.encode_frame({
+                        "op": "sort", "tenant": "precise",
+                        "keys": uniform_keys(16, seed=i), "id": i,
+                    }))
+                await writer.drain()
+                responses = [
+                    json.loads(await reader.readline()) for _ in range(5)
+                ]
+                assert all(r["ok"] for r in responses)
+                assert {r["id"] for r in responses} == set(range(5))
+                assert all(r["batch_jobs"] == 5 for r in responses)
+                assert server.scheduler.drains == 1
+                writer.close()
+        run(main())
+
+
+class TestProtocolEdges:
+    def test_malformed_json_keeps_connection_alive(self):
+        async def main():
+            async with running_server() as server:
+                reader, writer = await open_client(server)
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                response = json.loads(await reader.readline())
+                assert response["error"]["code"] == protocol.BAD_FRAME
+                # Connection survives per-frame errors.
+                assert (await roundtrip(
+                    reader, writer, {"op": "ping"}
+                ))["ok"]
+                writer.close()
+        run(main())
+
+    def test_unknown_tenant(self):
+        async def main():
+            async with running_server() as server:
+                reader, writer = await open_client(server)
+                response = await roundtrip(reader, writer, {
+                    "op": "sort", "tenant": "nobody", "keys": [1], "id": 7,
+                })
+                assert response["error"]["code"] == protocol.UNKNOWN_TENANT
+                assert response["id"] == 7
+                writer.close()
+        run(main())
+
+    def test_bad_keys_reported_per_frame(self):
+        async def main():
+            async with running_server() as server:
+                reader, writer = await open_client(server)
+                response = await roundtrip(reader, writer, {
+                    "op": "sort", "tenant": "fast", "keys": [1, -2],
+                })
+                assert response["error"]["code"] == protocol.BAD_REQUEST
+                writer.close()
+        run(main())
+
+    def test_oversized_frame_closes_connection(self):
+        async def main():
+            async with running_server(max_frame_bytes=1024) as server:
+                reader, writer = await open_client(server)
+                writer.write(b"x" * 5000 + b"\n")
+                await writer.drain()
+                response = json.loads(await reader.readline())
+                assert (
+                    response["error"]["code"] == protocol.PAYLOAD_TOO_LARGE
+                )
+                assert await reader.readline() == b""  # server hung up
+        run(main())
+
+    def test_overloaded_carries_retry_hint(self):
+        async def main():
+            # window long enough that queued jobs stay queued while we
+            # overflow the 2-deep queue.
+            async with running_server(
+                queue_depth=2, per_tenant_depth=2, window_s=0.5
+            ) as server:
+                reader, writer = await open_client(server)
+                for i in range(3):
+                    writer.write(protocol.encode_frame({
+                        "op": "sort", "tenant": "precise",
+                        "keys": [3, 1, 2], "id": i,
+                    }))
+                await writer.drain()
+                responses = [
+                    json.loads(await reader.readline()) for _ in range(3)
+                ]
+                rejected = [r for r in responses if not r["ok"]]
+                assert len(rejected) == 1
+                assert rejected[0]["error"]["code"] == protocol.OVERLOADED
+                assert 0.05 <= rejected[0]["retry_after_s"] <= 5.0
+                writer.close()
+        run(main())
+
+
+class TestDisconnects:
+    def test_client_disconnect_mid_flight_does_not_kill_server(self):
+        async def main():
+            async with running_server(window_s=0.05) as server:
+                # Hard hang-up (RST via zero-linger close) before the
+                # response arrives; a graceful FIN would leave the
+                # server's sending direction open and the write would
+                # legitimately succeed.
+                import socket
+                import struct
+
+                sock = socket.create_connection((server.host, server.port))
+                sock.sendall(protocol.encode_frame({
+                    "op": "sort", "tenant": "precise",
+                    "keys": uniform_keys(64, seed=1), "id": 1,
+                }))
+                sock.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+                sock.close()
+                # The job still completes; the failed delivery is counted.
+                for _ in range(200):
+                    if server.disconnected_midflight:
+                        break
+                    await asyncio.sleep(0.01)
+                assert server.scheduler.completed == 1
+                assert server.disconnected_midflight == 1
+                # And the server still serves new connections.
+                reader, writer = await open_client(server)
+                assert (await roundtrip(
+                    reader, writer, {"op": "ping"}
+                ))["ok"]
+                writer.close()
+        run(main())
+
+    def test_half_closing_client_still_gets_answers(self):
+        async def main():
+            async with running_server() as server:
+                reader, writer = await open_client(server)
+                writer.write(protocol.encode_frame({
+                    "op": "sort", "tenant": "precise",
+                    "keys": [5, 4, 3], "id": 1,
+                }))
+                writer.write_eof()  # printf | nc style half-close
+                response = json.loads(await reader.readline())
+                assert response["ok"]
+                assert response["keys"] == [3, 4, 5]
+        run(main())
+
+
+class TestShutdownDrain:
+    def test_accepted_jobs_all_answered_before_exit(self):
+        async def main():
+            async with running_server(window_s=0.5) as server:
+                reader, writer = await open_client(server)
+                for i in range(5):
+                    writer.write(protocol.encode_frame({
+                        "op": "sort", "tenant": "precise",
+                        "keys": uniform_keys(16, seed=i), "id": i,
+                    }))
+                await writer.drain()
+                # Wait until every job is admitted, then pull the plug
+                # mid-window: the drain must cut the window short and
+                # answer all five.
+                for _ in range(200):
+                    if server.scheduler.accepted == 5:
+                        break
+                    await asyncio.sleep(0.005)
+                assert server.scheduler.accepted == 5
+                await server.aclose()
+                responses = [
+                    json.loads(await reader.readline()) for _ in range(5)
+                ]
+                assert all(r["ok"] for r in responses)
+                assert server.scheduler.completed == 5
+                for i, r in enumerate(sorted(responses, key=lambda r: r["id"])):
+                    assert r["keys"] == sorted(uniform_keys(16, seed=i))
+        run(main())
+
+    def test_shutdown_op_acks_and_releases_waiter_while_jobs_finish(self):
+        async def main():
+            async with running_server(window_s=0.2) as server:
+                reader, writer = await open_client(server)
+                writer.write(protocol.encode_frame({
+                    "op": "sort", "tenant": "precise",
+                    "keys": [9, 1], "id": "job",
+                }))
+                writer.write(protocol.encode_frame(
+                    {"op": "shutdown", "id": "bye"}
+                ))
+                await writer.drain()
+                responses = {}
+                for _ in range(2):
+                    r = json.loads(await reader.readline())
+                    responses[r["id"]] = r
+                assert responses["bye"]["ok"]
+                assert responses["job"]["ok"]
+                assert responses["job"]["keys"] == [1, 9]
+                # serve_until_shutdown-style waiters are released.
+                await asyncio.wait_for(
+                    server._shutdown_requested.wait(), timeout=1.0
+                )
+        run(main())
+
+
+class TestDegradedServing:
+    def test_degraded_tier_is_reported_and_output_stays_exact(self):
+        async def main():
+            # A policy with zero debounce escalates on the first
+            # observation above the watermark; per-request admission then
+            # stamps tier 1 onto subsequent jobs.
+            degrade = DegradePolicy(
+                high_watermark=0.5, low_watermark=0.1,
+                sustain_s=0.0, recover_s=60.0,
+            )
+            async with running_server(
+                window_s=0.1, queue_depth=4, per_tenant_depth=4,
+                degrade=degrade,
+            ) as server:
+                reader, writer = await open_client(server)
+                for i in range(4):
+                    writer.write(protocol.encode_frame({
+                        "op": "sort", "tenant": "fast",
+                        "keys": uniform_keys(32, seed=i), "seed": i,
+                        "id": i,
+                    }))
+                await writer.drain()
+                responses = [
+                    json.loads(await reader.readline()) for _ in range(4)
+                ]
+                assert all(r["ok"] for r in responses)
+                degraded = [r for r in responses if r["degraded"]]
+                assert degraded, "sustained pressure never degraded"
+                for r in degraded:
+                    assert r["tier"] >= 1
+                    assert r["tier_t"] in (0.07, 0.1)
+                    # Exactness survives degradation: refine repairs.
+                    assert r["keys"] == sorted(
+                        uniform_keys(32, seed=r["id"])
+                    )
+                    # Bit-identity against a direct call *at the
+                    # degraded tier's memory config*.
+                    direct = run_approx_refine(
+                        uniform_keys(32, seed=r["id"]), "lsd6",
+                        server.tenants.memory_for(
+                            server.tenants.get("fast"), r["tier"]
+                        ),
+                        seed=r["seed"], kernels="numpy",
+                    )
+                    assert r["keys"] == direct.final_keys
+                    assert r["stats"] == direct.stats.as_dict()
+                writer.close()
+        run(main())

@@ -1,0 +1,133 @@
+"""Tenant profiles: validation, tier ladders, factory-cache sharing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve import TenantProfile, TenantRegistry, load_profiles
+from repro.serve.tenants import profile_from_dict
+
+from ..conftest import TEST_FIT_SAMPLES
+
+
+class TestTenantProfile:
+    def test_defaults_are_valid(self):
+        profile = TenantProfile(name="x")
+        assert profile.lane == "approx"
+        assert profile.tiers == (0.055,)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"lane": "fuzzy"},
+        {"sorter": "bogosort"},
+        {"kernels": "cuda"},
+        {"max_keys": 0},
+        {"t": 0.5},                      # outside MLCParams' valid range
+        {"degrade_ts": (0.07, 9.0)},     # bad ladder tier fails eagerly
+    ])
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ConfigError):
+            TenantProfile(name="x", **kwargs)
+
+    def test_tier_ladder_and_clamping(self):
+        profile = TenantProfile(name="x", t=0.04, degrade_ts=(0.07, 0.1))
+        assert profile.tiers == (0.04, 0.07, 0.1)
+        assert profile.tier_t(0) == 0.04
+        assert profile.tier_t(2) == 0.1
+        assert profile.tier_t(99) == 0.1   # clamped to the ladder top
+        assert profile.tier_t(-5) == 0.04
+
+    def test_precise_lane_has_no_tiers(self):
+        profile = TenantProfile(name="x", lane="precise", sorter="mergesort")
+        assert profile.tiers == ()
+        assert profile.tier_t(0) is None
+
+    def test_describe_reports_effective_tier(self):
+        profile = TenantProfile(name="x", t=0.04, degrade_ts=(0.07,))
+        assert profile.describe(0)["t"] == 0.04
+        described = profile.describe(1)
+        assert described["t"] == 0.07
+        assert described["tier"] == 1
+        assert described["base_t"] == 0.04
+
+
+class TestProfileFromDict:
+    def test_round_trip(self):
+        profile = profile_from_dict({
+            "name": "a", "sorter": "lsd6", "t": 0.055,
+            "degrade_ts": [0.07, 0.1],
+        })
+        assert profile.degrade_ts == (0.07, 0.1)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigError, match="unknown fields"):
+            profile_from_dict({"name": "a", "sortr": "lsd6"})
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(ConfigError, match="name"):
+            profile_from_dict({"sorter": "lsd6"})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ConfigError):
+            profile_from_dict(["name"])
+
+
+class TestTenantRegistry:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            TenantRegistry([
+                TenantProfile(name="a"), TenantProfile(name="a"),
+            ])
+
+    def test_identical_configs_share_one_factory(self):
+        a = TenantProfile(name="a", t=0.055, fit_samples=TEST_FIT_SAMPLES)
+        b = TenantProfile(name="b", t=0.055, fit_samples=TEST_FIT_SAMPLES)
+        c = TenantProfile(name="c", t=0.07, fit_samples=TEST_FIT_SAMPLES)
+        registry = TenantRegistry([a, b, c])
+        assert registry.memory_for(a) is registry.memory_for(b)
+        assert registry.memory_for(a) is not registry.memory_for(c)
+
+    def test_degrade_tier_resolves_to_tier_factory(self):
+        a = TenantProfile(
+            name="a", t=0.055, degrade_ts=(0.07,),
+            fit_samples=TEST_FIT_SAMPLES,
+        )
+        c = TenantProfile(name="c", t=0.07, fit_samples=TEST_FIT_SAMPLES)
+        registry = TenantRegistry([a, c])
+        # a's tier-1 config equals c's base config: same factory.
+        assert registry.memory_for(a, tier=1) is registry.memory_for(c)
+
+    def test_precise_profile_has_no_memory(self):
+        profile = TenantProfile(name="p", lane="precise", sorter="mergesort")
+        registry = TenantRegistry([profile])
+        assert registry.memory_for(profile) is None
+
+
+class TestLoadProfiles:
+    def test_loads_a_valid_file(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        path.write_text(json.dumps([
+            {"name": "a", "sorter": "lsd6", "t": 0.055,
+             "fit_samples": TEST_FIT_SAMPLES},
+            {"name": "p", "lane": "precise", "sorter": "mergesort"},
+        ]))
+        profiles = load_profiles(path)
+        assert [p.name for p in profiles] == ["a", "p"]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError, match="cannot read"):
+            load_profiles(tmp_path / "absent.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            load_profiles(path)
+
+    def test_empty_list_rejected(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("[]")
+        with pytest.raises(ConfigError, match="non-empty"):
+            load_profiles(path)
