@@ -1,0 +1,170 @@
+"""Write-efficient sorter bench and regression gate (DESIGN.md section 16).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ext_write_efficient.py
+    PYTHONPATH=src python benchmarks/bench_ext_write_efficient.py --quick
+    PYTHONPATH=src python benchmarks/bench_ext_write_efficient.py \
+        --n 100000 --out BENCH_write_efficient.json
+
+Measures, on precise memory with a keys-only ``MemoryStats``, the key-write
+count of binary mergesort against the write-efficient family (``wemerge4``
+/ ``wemerge8`` / ``wemerge16`` / ``wesample``) at equal ``n``, in both
+kernel modes, and appends one record per (algorithm, kernels) to a JSON
+array file (default ``BENCH_write_efficient.json`` at the repo root — the
+append-style shared by every BENCH file, ``schema`` 1).
+
+Each record carries the measured ``key_writes``, the sorter's closed-form
+``write_bound`` (``max_key_writes``), mergesort's count at the same ``n``,
+and the measured/bound write ratios vs mergesort.  The PR-acceptance gate
+exits non-zero when:
+
+* any write-efficient sorter's measured count exceeds its bound, or
+* any ``wemerge*`` fails to perform *strictly fewer* writes than
+  mergesort, or
+* a measured ratio drifts above the theoretical ratio (an implementation
+  quietly adding writes regresses the whole point of the family).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.memory.approx_array import PreciseArray
+from repro.memory.stats import MemoryStats
+from repro.sorting.registry import make_base_sorter
+from repro.workloads.generators import uniform_keys
+
+#: Record schema: 1 = precise key-write head-to-head vs mergesort.
+BENCH_WE_SCHEMA = 1
+
+ALGORITHMS = ("mergesort", "wemerge4", "wemerge8", "wemerge16", "wesample")
+
+#: Measured/bound ratio slack: the write schedules are deterministic, so
+#: measured == bound exactly; any excess is a regression, not noise.
+RATIO_SLACK = 1e-9
+
+
+def _append_records(path: Path, records: list[dict]) -> None:
+    existing = []
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            existing = []
+        if not isinstance(existing, list):
+            existing = [existing]
+    existing.extend(records)
+    path.write_text(json.dumps(existing, indent=2) + "\n")
+
+
+def measure(algorithm: str, keys: list[int], kernels: str) -> tuple[int, float]:
+    """(measured key writes, wall seconds) of one keys-only precise sort."""
+    stats = MemoryStats()
+    array = PreciseArray(keys, stats=stats)
+    sorter = make_base_sorter(algorithm, kernels=kernels)
+    t0 = time.perf_counter()
+    sorter.sort(array)
+    seconds = time.perf_counter() - t0
+    if array.to_list() != sorted(keys):
+        print(f"FAIL: {algorithm} ({kernels}) did not sort", file=sys.stderr)
+        raise SystemExit(1)
+    return stats.precise_writes, seconds
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Write-efficient sorter key-write bench + gate"
+    )
+    parser.add_argument("--n", type=int, default=50_000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced n for the CI smoke lane",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="bench record file (default BENCH_write_efficient.json at repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    n = 4_000 if args.quick else args.n
+    out = Path(
+        args.out
+        if args.out
+        else Path(__file__).resolve().parent.parent / "BENCH_write_efficient.json"
+    )
+    keys = uniform_keys(n, seed=args.seed)
+    timestamp = datetime.now(timezone.utc).isoformat()
+
+    records: list[dict] = []
+    failures: list[str] = []
+    bounds = {
+        algorithm: make_base_sorter(algorithm).max_key_writes(n)
+        for algorithm in ALGORITHMS
+    }
+    for kernels in ("scalar", "numpy"):
+        writes_mergesort, _ = measure("mergesort", keys, kernels)
+        for algorithm in ALGORITHMS:
+            writes, seconds = measure(algorithm, keys, kernels)
+            bound = bounds[algorithm]
+            write_ratio = writes / writes_mergesort
+            bound_ratio = bound / bounds["mergesort"]
+            ok = True
+            if writes > bound:
+                ok = False
+                failures.append(
+                    f"{algorithm} ({kernels}): measured {writes} writes"
+                    f" exceeds bound {bound:g}"
+                )
+            if algorithm.startswith("wemerge") and writes >= writes_mergesort:
+                ok = False
+                failures.append(
+                    f"{algorithm} ({kernels}): {writes} writes not strictly"
+                    f" fewer than mergesort's {writes_mergesort}"
+                )
+            if write_ratio > bound_ratio + RATIO_SLACK:
+                ok = False
+                failures.append(
+                    f"{algorithm} ({kernels}): measured write ratio"
+                    f" {write_ratio:.6f} regressed past the theoretical"
+                    f" {bound_ratio:.6f}"
+                )
+            records.append({
+                "timestamp": timestamp,
+                "schema": BENCH_WE_SCHEMA,
+                "n": n,
+                "algorithm": algorithm,
+                "kernels": kernels,
+                "seconds": seconds,
+                "key_writes": writes,
+                "write_bound": bound,
+                "writes_mergesort": writes_mergesort,
+                "write_ratio": write_ratio,
+                "bound_ratio": bound_ratio,
+                "pass": ok,
+            })
+            print(
+                f"{algorithm:>10s} ({kernels}): {writes:>9d} writes"
+                f" (bound {bound:g}, {write_ratio:.3f}x mergesort,"
+                f" {seconds:.3f}s){'' if ok else '  <-- FAIL'}"
+            )
+
+    _append_records(out, records)
+    print(f"appended {len(records)} records to {out}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,150 @@
+"""Extension: write-efficient sorting vs approximate-memory write-cheapening.
+
+ROADMAP item 3 / DESIGN.md section 16: the paper makes writes cheaper per
+write (approximate PCM); Blelloch et al.'s asymmetric-cost theory makes
+algorithms *issue fewer writes* (sample sort with one write per element,
+k-way mergesort with ``ceil(log_k n)`` write passes).  This experiment
+runs the head-to-head and the composition:
+
+* **Precise lane** — measured key-write counts (keys only, a dedicated
+  ``MemoryStats``) for binary mergesort and LSD radix against the
+  write-efficient family across the k / sample-rate sweep, next to each
+  sorter's closed-form ``max_key_writes`` bound.  Every measured count is
+  asserted ``<=`` its bound in-process — the same machine check the
+  ``write_budget`` oracle class enforces in CI — and the acceptance
+  claim (write-efficient mergesort strictly fewer writes than binary
+  mergesort at equal n) is asserted here too.
+
+* **Approx lane** — the full approx-refine mechanism at the paper's
+  sweet spot T = 0.055, TEPMW (Equation 1) against the same sorter's
+  precise-only baseline (Equation 2's write reduction).  This answers
+  the composition question: a write-efficient sorter starts from a lower
+  precise baseline, so a similar *relative* reduction means a strictly
+  lower absolute write bill.
+"""
+
+from __future__ import annotations
+
+from repro.core.approx_refine import run_approx_refine, run_precise_baseline
+from repro.memory.approx_array import PreciseArray
+from repro.memory.config import MLCParams
+from repro.memory.factories import PCMMemoryFactory
+from repro.memory.stats import MemoryStats, write_reduction
+from repro.sorting.registry import make_base_sorter
+from repro.workloads.generators import uniform_keys
+
+from .common import ExperimentTable, map_cells, resolve_scale, scaled
+from .fig04_sortedness import _fit_samples
+
+#: The paper's sweet-spot threshold (Figure 9 peak) for the approx lane.
+SWEET_T = 0.055
+
+#: Swept configurations: (algorithm, constructor kwargs, sweep label).
+CONFIGS: tuple[tuple[str, dict, str], ...] = (
+    ("mergesort", {}, "-"),
+    ("lsd6", {}, "-"),
+    ("wemerge4", {}, "k=4"),
+    ("wemerge8", {}, "k=8"),
+    ("wemerge16", {}, "k=16"),
+    ("wesample", {"sample_rate": 0.02}, "rate=0.02"),
+    ("wesample", {"sample_rate": 0.05}, "rate=0.05"),
+)
+
+
+def measured_key_writes(keys: list[int], algorithm: str, **kwargs) -> int:
+    """Key writes (keys only, precise memory) of one sort, measured."""
+    stats = MemoryStats()
+    array = PreciseArray(keys, stats=stats)
+    make_base_sorter(algorithm, **kwargs).sort(array)
+    assert array.to_list() == sorted(keys), algorithm
+    return stats.precise_writes
+
+
+def _cell(
+    algorithm: str, param_key: str, param_value: float, n: int, seed: int,
+    fit: int,
+) -> tuple[float, int]:
+    """One approx-lane measurement (picklable: primitives in, tuple out)."""
+    kwargs = {param_key: param_value} if param_key else {}
+    keys = uniform_keys(n, seed=seed)
+    sorter = make_base_sorter(algorithm, **kwargs)
+    memory = PCMMemoryFactory(MLCParams(t=SWEET_T), fit_samples=fit)
+    baseline = run_precise_baseline(keys, make_base_sorter(algorithm, **kwargs))
+    result = run_approx_refine(keys, sorter, memory, seed=seed)
+    return (
+        write_reduction(baseline.total_units, result.total_units),
+        result.rem_tilde,
+    )
+
+
+def run(
+    scale: str | None = None,
+    seed: int = 0,
+    jobs: int = 1,
+    cell_journal=None,
+) -> ExperimentTable:
+    tier = resolve_scale(scale)
+    n = scaled(tier, smoke=1_200, default=8_000, large=40_000)
+    keys = uniform_keys(n, seed=seed)
+    fit = _fit_samples(tier)
+
+    table = ExperimentTable(
+        experiment="ext_write_efficient",
+        title="Extension: write-efficient sorters vs approx-refine (TEPMW)",
+        columns=[
+            "algorithm", "param", "key_writes", "write_bound",
+            "writes_vs_mergesort", "approx_write_reduction",
+            "rem_tilde_ratio",
+        ],
+        notes=[
+            f"scale={tier}, n={n}; precise lane counts key writes only,"
+            " approx lane runs full approx-refine at T="
+            f"{SWEET_T} vs the same sorter's precise baseline",
+            "every measured key_writes is asserted <= write_bound"
+            " (the write_budget oracle class re-checks this in CI)",
+        ],
+        paper_reference=[
+            "Blelloch et al. (PAPERS.md): sample sort writes each element"
+            " once; k-way merge writes ceil(log_k n) times vs ceil(log2 n)",
+            "Expected: wemerge* strictly fewer precise writes than"
+            " mergesort at equal n; wesample at the n-writes floor",
+        ],
+    )
+
+    mergesort_writes = measured_key_writes(keys, "mergesort")
+    cells = []
+    precise_rows = []
+    for algorithm, kwargs, label in CONFIGS:
+        writes = (
+            mergesort_writes
+            if algorithm == "mergesort"
+            else measured_key_writes(keys, algorithm, **kwargs)
+        )
+        sorter = make_base_sorter(algorithm, **kwargs)
+        bound = sorter.max_key_writes(n)
+        if bound is not None and writes > bound:
+            raise AssertionError(
+                f"{algorithm} ({label}): measured {writes} key writes"
+                f" exceeds the closed-form bound {bound:g}"
+            )
+        if algorithm.startswith("wemerge") and writes >= mergesort_writes:
+            raise AssertionError(
+                f"{algorithm}: {writes} key writes is not strictly fewer"
+                f" than mergesort's {mergesort_writes} at n={n}"
+            )
+        precise_rows.append((algorithm, label, writes, bound))
+        param_key = next(iter(kwargs), "")
+        cells.append((
+            algorithm, param_key, kwargs.get(param_key, 0.0), n, seed, fit,
+        ))
+
+    approx = map_cells(_cell, cells, jobs=jobs, journal=cell_journal)
+    for (algorithm, label, writes, bound), (reduction, rem) in zip(
+        precise_rows, approx
+    ):
+        table.add_row(
+            algorithm, label, writes,
+            float("nan") if bound is None else bound,
+            writes / mergesort_writes, reduction, rem / n,
+        )
+    return table

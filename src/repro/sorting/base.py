@@ -114,6 +114,20 @@ class BaseSorter:
     def expected_key_writes(self, n: int) -> float:
         raise NotImplementedError
 
+    def max_key_writes(self, n: int) -> Optional[float]:
+        """Closed-form worst-case key writes to sort ``n`` elements.
+
+        ``None`` (the default) means the algorithm's write count is
+        value-dependent with no useful deterministic bound (quicksort's
+        swap count, MSD bucket recursion).  Sorters with a
+        value-independent write schedule override this with the exact
+        bound; the ``write_budget`` oracle class in
+        :mod:`repro.verify.oracle` asserts measured ``MemoryStats`` write
+        counts never exceed it, on precise and approximate memory, in
+        both kernel modes.
+        """
+        return None
+
     @staticmethod
     def _swap(
         keys: InstrumentedArray,

@@ -206,6 +206,10 @@ class Mergesort(BaseSorter):
             passes += 1
         return float(passes) * n
 
+    def max_key_writes(self, n: int) -> "float | None":
+        """The pass schedule is value-independent: worst case = expected."""
+        return self.expected_key_writes(n)
+
     # Kept for reference against the paper's closed form.
     @staticmethod
     def paper_alpha(n: int) -> float:

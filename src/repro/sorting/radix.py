@@ -197,6 +197,10 @@ class LSDRadixSort(BaseSorter):
         """alpha_LSD(n): two writes per element per pass."""
         return 2.0 * len(self._plan) * n
 
+    def max_key_writes(self, n: int) -> "float | None":
+        """The pass schedule is value-independent: worst case = expected."""
+        return 0.0 if n < 2 else self.expected_key_writes(n)
+
 
 class MSDRadixSort(BaseSorter):
     """Most-significant-digit radix sort with queue buckets.

@@ -47,6 +47,17 @@ and compares everything observable:
     IDs, Rem~ and ``MemoryStats`` after a JSON round trip, on both
     lanes.  The serving stack (protocol, scheduler, batching, executor
     thread) must be a pure transport, never an observable one.
+``write_budget``
+    Measured key-write counts vs the sorter's closed-form worst-case
+    bound (:meth:`~repro.sorting.base.BaseSorter.max_key_writes`).  For
+    every sorter with a value-independent write schedule (mergesort, LSD
+    radix, and the write-efficient family of DESIGN.md section 16), both
+    kernel modes are run on precise *and* approximate memory and the
+    ``MemoryStats`` write counters must not exceed the bound — the
+    write-efficiency claims are machine-checked, never asserted.
+    Sorters whose write count is value-dependent (quicksort's swaps, MSD
+    recursion) return ``None`` from ``max_key_writes`` and the class
+    degenerates to a no-op.
 
 Every divergence is reported as a :class:`Divergence` carrying the first
 differing element/counter and a replayable description of the case; the
@@ -806,6 +817,58 @@ def check_served_direct(case: OracleCase) -> list[Divergence]:
     return out
 
 
+def check_write_budget(case: OracleCase) -> list[Divergence]:
+    """Measured key writes never exceed the closed-form worst-case bound.
+
+    Sorters with a value-independent write schedule publish an exact
+    worst-case key-write count via ``max_key_writes``; this class sorts
+    the case's keys (keys only — the bound prices *key* writes, the
+    paper's TEPMW currency) in both kernel modes on precise and
+    approximate memory and compares the measured ``MemoryStats`` write
+    counters against the bound.  The precise lane additionally requires
+    a correctly sorted output — a sorter must not buy writes back by not
+    sorting.  ``max_key_writes() is None`` (value-dependent schedule)
+    degenerates to a no-op.
+    """
+    from repro.memory.approx_array import PreciseArray
+    from repro.sorting.registry import make_base_sorter, with_kernels
+
+    out: list[Divergence] = []
+    name = "write_budget"
+    sorter = make_base_sorter(case.algorithm)
+    bound = sorter.max_key_writes(case.n)
+    if bound is None:
+        return out
+    keys = case.keys()
+    memory = memory_for(case.t)
+    for mode in ("scalar", "numpy"):
+        runner = with_kernels(sorter, mode)
+        stats = MemoryStats()
+        array = PreciseArray(keys, stats=stats, name="budget-precise")
+        runner.sort(array)
+        if array.to_list() != sorted(keys):
+            _first_mismatch(out, name, f"precise[{mode}].final_keys",
+                            sorted(keys), array.to_list())
+            return out
+        if stats.precise_writes > bound:
+            out.append(Divergence(
+                name, f"precise[{mode}].writes", None,
+                f"<= {bound:g}", stats.precise_writes,
+                detail=f"n={case.n}, bound from {case.algorithm}.max_key_writes",
+            ))
+            return out
+        approx_stats = MemoryStats()
+        runner.sort(memory.make_array(keys, stats=approx_stats, seed=case.seed))
+        if approx_stats.approx_writes > bound:
+            out.append(Divergence(
+                name, f"approx[{mode}].writes", None,
+                f"<= {bound:g}", approx_stats.approx_writes,
+                detail=f"n={case.n}, T={case.t}",
+            ))
+            return out
+    return out
+
+
 #: Registry of equivalence classes.  ``bit`` classes are deterministic;
 #: ``scalar_numpy_approx`` is distributional for non-block-writers.
 EQUIVALENCE_CLASSES: dict[str, Callable[[OracleCase], list[Divergence]]] = {
@@ -817,6 +880,7 @@ EQUIVALENCE_CLASSES: dict[str, Callable[[OracleCase], list[Divergence]]] = {
     "batched_loop": check_batched_loop,
     "batch_span_tiling": check_batch_span_tiling,
     "served_direct": check_served_direct,
+    "write_budget": check_write_budget,
 }
 
 #: The deterministic subset (safe for tight CI gates and fuzz smoke).
@@ -828,6 +892,7 @@ BIT_CLASSES = (
     "batched_loop",
     "batch_span_tiling",
     "served_direct",
+    "write_budget",
 )
 
 

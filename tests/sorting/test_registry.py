@@ -11,7 +11,8 @@ from repro.sorting.registry import available_sorters, make_sorter
 class TestRegistry:
     def test_all_expected_names_present(self):
         names = available_sorters()
-        expected = {"quicksort", "mergesort", "insertion", "natural_merge"}
+        expected = {"quicksort", "mergesort", "insertion", "natural_merge",
+                    "wesample", "wemerge4", "wemerge8", "wemerge16"}
         for bits in (3, 4, 5, 6):
             expected.update(
                 {f"lsd{bits}", f"msd{bits}", f"hlsd{bits}", f"hmsd{bits}"}

@@ -1,0 +1,197 @@
+"""The write-efficient sorter family (DESIGN.md section 16).
+
+Pins the family's whole reason to exist — the closed-form write bounds —
+as *measured* facts: exact key-write counts on precise memory, strict
+savings over binary mergesort, bit-identical kernel modes on approximate
+memory (they are block writers, hence ``APPROX_KERNEL_EXACT``), and a
+Hypothesis sweep over (n, k, sample_rate) cells asserting writes <= bound
+with a correctly sorted output under the pinned derandomized CI profile.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.memory.approx_array import PreciseArray, WORD_LIMIT
+from repro.memory.stats import MemoryStats
+from repro.sorting.registry import (
+    APPROX_KERNEL_EXACT,
+    WEMERGE_FANINS,
+    make_base_sorter,
+    make_sorter,
+    with_kernels,
+)
+from repro.sorting.write_efficient import (
+    WriteEfficientKWayMergesort,
+    WriteEfficientSampleSort,
+)
+from repro.workloads.generators import uniform_keys
+
+WE_NAMES = ("wesample", *(f"wemerge{k}" for k in WEMERGE_FANINS))
+
+
+def sort_and_count(sorter, keys):
+    """Measured key writes (keys only, precise memory); asserts sortedness."""
+    stats = MemoryStats()
+    array = PreciseArray(keys, stats=stats)
+    sorter.sort(array)
+    assert array.to_list() == sorted(keys)
+    return stats.precise_writes
+
+
+class TestRegistryIntegration:
+    def test_registered_names(self):
+        for name in WE_NAMES:
+            assert make_sorter(name).name == name
+
+    def test_approx_kernel_exact_membership(self):
+        # Both kernel paths issue identical write_block sequences, so the
+        # oracle may hold them to bit-exactness on approximate memory.
+        for name in WE_NAMES:
+            assert name in APPROX_KERNEL_EXACT
+
+    def test_with_kernels_preserves_configuration(self):
+        sample = WriteEfficientSampleSort(sample_rate=0.2, seed=9)
+        copy = with_kernels(sample, "numpy")
+        assert copy.sample_rate == 0.2 and copy.seed == 9
+        assert copy.kernels == "numpy"
+        kway = WriteEfficientKWayMergesort(k=5)
+        copy = with_kernels(kway, "scalar")
+        assert copy.k == 5 and copy.name == "wemerge5"
+
+    def test_kwargs_override(self):
+        assert make_base_sorter("wesample", sample_rate=0.5).sample_rate == 0.5
+        assert make_base_sorter("wemerge8").k == 8
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigError):
+            WriteEfficientKWayMergesort(k=1)
+        with pytest.raises(ConfigError):
+            WriteEfficientKWayMergesort(k=2.5)
+        with pytest.raises(ConfigError):
+            WriteEfficientSampleSort(sample_rate=0.0)
+        with pytest.raises(ConfigError):
+            WriteEfficientSampleSort(sample_rate=1.5)
+
+
+class TestExactWriteCounts:
+    """The bounds are not inequalities in practice: schedules are exact."""
+
+    @pytest.mark.parametrize("n", [2, 3, 7, 16, 17, 64, 65, 130, 1000])
+    def test_wesample_writes_exactly_n(self, n):
+        keys = uniform_keys(n, seed=3)
+        sorter = make_base_sorter("wesample")
+        assert sort_and_count(sorter, keys) == n == sorter.max_key_writes(n)
+
+    @pytest.mark.parametrize("k", WEMERGE_FANINS)
+    @pytest.mark.parametrize("n", [2, 3, 7, 16, 17, 64, 65, 130, 1000])
+    def test_wemerge_writes_match_level_schedule(self, k, n):
+        keys = uniform_keys(n, seed=4)
+        sorter = make_base_sorter(f"wemerge{k}")
+        levels = sorter.passes(n)
+        expected = n * (levels + levels % 2)
+        measured = sort_and_count(sorter, keys)
+        assert measured == expected == sorter.max_key_writes(n)
+
+    @pytest.mark.parametrize("n", [130, 1000])
+    def test_strictly_fewer_writes_than_mergesort(self, n):
+        keys = uniform_keys(n, seed=5)
+        mergesort_writes = sort_and_count(make_base_sorter("mergesort"), keys)
+        for k in WEMERGE_FANINS:
+            assert (
+                sort_and_count(make_base_sorter(f"wemerge{k}"), keys)
+                < mergesort_writes
+            )
+        assert sort_and_count(make_base_sorter("wesample"), keys) == n
+
+    def test_max_key_writes_protocol(self):
+        # Deterministic-schedule sorters publish their bound; the
+        # value-dependent ones opt out with None.
+        assert make_base_sorter("mergesort").max_key_writes(100) == 800.0
+        assert make_base_sorter("lsd6").max_key_writes(100) == 1200.0
+        assert make_base_sorter("quicksort").max_key_writes(100) is None
+        for name in ("mergesort", "lsd6", *WE_NAMES):
+            assert make_base_sorter(name).max_key_writes(1) == 0.0
+
+
+class TestAdversarialSplitters:
+    """Duplicate-collapsed and monotone inputs for the splitter path."""
+
+    CASES = {
+        "dup_heavy": [(i * 7) % 3 for i in range(200)],
+        "two_values": [i % 2 for i in range(200)],
+        "already_sorted": list(range(200)),
+        "reverse_sorted": list(range(199, -1, -1)),
+        "sawtooth": [i % 10 for i in range(200)],
+        "max_word_runs": [WORD_LIMIT - 1] * 100 + [0] * 100,
+    }
+
+    @pytest.mark.parametrize("case", sorted(CASES))
+    @pytest.mark.parametrize("name", WE_NAMES)
+    @pytest.mark.parametrize("kernels", ["scalar", "numpy"])
+    def test_sorts_with_stable_permutation(self, name, case, kernels):
+        keys = self.CASES[case]
+        stats = MemoryStats()
+        key_array = PreciseArray(keys, stats=stats)
+        id_array = PreciseArray(range(len(keys)), stats=stats)
+        make_base_sorter(name, kernels=kernels).sort(key_array, id_array)
+        assert key_array.to_list() == sorted(keys)
+        perm = id_array.to_list()
+        assert [keys[p] for p in perm] == sorted(keys)
+        # Stability: among equal keys the original order survives.
+        for left, right in zip(perm, perm[1:]):
+            if keys[left] == keys[right]:
+                assert left < right
+
+    @pytest.mark.parametrize("case", sorted(CASES))
+    def test_write_bound_holds_on_adversarial_input(self, case):
+        keys = self.CASES[case]
+        for name in WE_NAMES:
+            sorter = make_base_sorter(name)
+            assert (
+                sort_and_count(sorter, keys)
+                <= sorter.max_key_writes(len(keys))
+            )
+
+
+class TestKernelEquivalenceOnApprox:
+    """scalar == numpy bit-for-bit on approximate memory (block writers)."""
+
+    @pytest.mark.parametrize("name", WE_NAMES)
+    def test_bit_identical_across_kernel_modes(self, name, pcm_sweet):
+        keys = uniform_keys(300, seed=11)
+        outputs = []
+        for kernels in ("scalar", "numpy"):
+            stats = MemoryStats()
+            array = pcm_sweet.make_array(keys, stats=stats, seed=77)
+            make_base_sorter(name, kernels=kernels).sort(array)
+            outputs.append((array.to_list(), stats.as_dict()))
+        assert outputs[0] == outputs[1]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    keys=st.lists(
+        st.integers(min_value=0, max_value=WORD_LIMIT - 1),
+        min_size=2, max_size=200,
+    ),
+    k=st.integers(min_value=2, max_value=24),
+)
+def test_property_wemerge_writes_within_bound(keys, k):
+    sorter = WriteEfficientKWayMergesort(k=k)
+    bound = sorter.max_key_writes(len(keys))
+    assert sort_and_count(sorter, keys) <= bound
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    keys=st.lists(
+        st.integers(min_value=0, max_value=WORD_LIMIT - 1),
+        min_size=2, max_size=200,
+    ),
+    rate=st.floats(min_value=0.01, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_property_wesample_writes_exactly_n(keys, rate, seed):
+    sorter = WriteEfficientSampleSort(sample_rate=rate, seed=seed)
+    assert sort_and_count(sorter, keys) == len(keys)

@@ -1,0 +1,116 @@
+"""The ``write_budget`` oracle class: measured writes vs closed-form bounds.
+
+The class is the machine check behind DESIGN.md section 16's claims: for
+every sorter that publishes ``max_key_writes``, measured ``MemoryStats``
+write counts must stay within the bound on precise *and* approximate
+memory, in both kernel modes.  These tests pin the class's registration
+(in ``BIT_CLASSES``, so the CI oracle gate runs it for every sorter), its
+pass behaviour across the write-bounded family, its degeneration to a
+no-op for value-dependent sorters, and — the part that proves the check
+has teeth — that a sorter lying about its bound is caught.
+"""
+
+import pytest
+
+from repro.sorting.registry import WEMERGE_FANINS, available_sorters
+from repro.sorting.write_efficient import WriteEfficientKWayMergesort
+from repro.verify.oracle import (
+    BIT_CLASSES,
+    EQUIVALENCE_CLASSES,
+    OracleCase,
+    check_write_budget,
+    resolve_classes,
+    run_case,
+)
+
+BOUNDED = ("mergesort", "wesample", *(f"wemerge{k}" for k in WEMERGE_FANINS),
+           "lsd3", "lsd6")
+UNBOUNDED = ("quicksort", "msd6", "insertion")
+
+
+class TestRegistration:
+    def test_in_equivalence_classes_and_bit(self):
+        assert "write_budget" in EQUIVALENCE_CLASSES
+        assert "write_budget" in BIT_CLASSES
+        assert "write_budget" in resolve_classes("bit")
+        assert "write_budget" in resolve_classes(None)
+
+    def test_selectable_by_name(self):
+        result = run_case(
+            OracleCase(algorithm="wemerge8", n=60), classes="write_budget"
+        )
+        assert result.classes_run == ["write_budget"]
+        assert result.passed
+
+
+class TestPasses:
+    @pytest.mark.parametrize("algorithm", BOUNDED)
+    def test_bounded_sorters_pass(self, algorithm):
+        case = OracleCase(algorithm=algorithm, n=120, seed=3)
+        assert check_write_budget(case) == []
+
+    @pytest.mark.parametrize("workload", ["sorted", "reverse", "few_distinct"])
+    def test_adversarial_workloads_pass(self, workload):
+        for algorithm in ("wesample", "wemerge4"):
+            case = OracleCase(algorithm=algorithm, workload=workload, n=90)
+            assert check_write_budget(case) == []
+
+    def test_max_word_workload_passes(self):
+        # Highest write cost per word must not change the write *count*.
+        case = OracleCase(algorithm="wemerge8", workload="max_word", n=64)
+        assert check_write_budget(case) == []
+
+    @pytest.mark.parametrize("n", [0, 1, 2])
+    def test_tiny_n_pass(self, n):
+        for algorithm in ("wesample", "wemerge8", "mergesort"):
+            assert check_write_budget(OracleCase(algorithm=algorithm, n=n)) == []
+
+
+class TestDegenerate:
+    @pytest.mark.parametrize("algorithm", UNBOUNDED)
+    def test_value_dependent_sorters_are_a_noop(self, algorithm):
+        # max_key_writes() is None: nothing to enforce, nothing to run.
+        case = OracleCase(algorithm=algorithm, n=80)
+        assert check_write_budget(case) == []
+
+    def test_every_registry_sorter_is_accepted(self):
+        for algorithm in available_sorters():
+            case = OracleCase(algorithm=algorithm, n=40)
+            assert check_write_budget(case) == []
+
+
+class TestViolationDetected:
+    def test_lying_bound_is_caught(self, monkeypatch):
+        """A sorter whose bound undershoots its writes must diverge."""
+
+        class LyingKWay(WriteEfficientKWayMergesort):
+            def max_key_writes(self, n):
+                return 1.0 if n >= 2 else 0.0
+
+        import repro.sorting.registry as registry
+
+        monkeypatch.setitem(
+            registry._FACTORIES, "wemerge8", lambda: LyingKWay(k=8)
+        )
+        divergences = check_write_budget(OracleCase(algorithm="wemerge8", n=60))
+        assert divergences
+        assert divergences[0].equivalence == "write_budget"
+        assert "writes" in divergences[0].field
+
+    def test_unsorted_output_is_caught(self, monkeypatch):
+        """Saving writes by not sorting must diverge in the precise lane."""
+
+        class NoOpSorter(WriteEfficientKWayMergesort):
+            def _sort(self, keys, ids):
+                pass  # zero writes, zero sorting
+
+        import repro.sorting.registry as registry
+
+        monkeypatch.setitem(
+            registry._FACTORIES, "wemerge8", lambda: NoOpSorter(k=8)
+        )
+        divergences = check_write_budget(
+            OracleCase(algorithm="wemerge8", workload="reverse", n=60)
+        )
+        assert divergences
+        assert "final_keys" in divergences[0].field
